@@ -1,0 +1,153 @@
+// The paper's "micro benchmarks" (§I-C: "We obtained similar results from
+// micro benchmarks but for brevity they are not included"): a homogeneous
+// task-size sweep on the NATIVE runtime of this host.
+//
+// N independent tasks of controllable duration (busy-work loop, no
+// dependencies) are spawned for a fixed total amount of work; the task size
+// sweeps from sub-microsecond to multi-millisecond. The same U-shape and
+// idle-rate behaviour as the stencil emerges without any dependency
+// structure, confirming the effects come from the scheduler, not from the
+// stencil's dataflow graph.
+//
+//   --total-us=N   total busy work in microseconds (default 2e5 = 0.2 s)
+//   --workers=N    worker threads (default: all CPUs)
+//   --samples=N
+//   --mode=sim     run the same independent-task sweep on a modeled
+//                  platform instead (--platform=haswell, --cores=28);
+//                  exercises sim_workload::independent.
+#include <atomic>
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "sim/sim_backend.hpp"
+#include "sync/latch.hpp"
+#include "threads/thread_manager.hpp"
+#include "topo/topology.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace gran;
+
+namespace {
+
+// Busy-spins for roughly `ns` nanoseconds (calibrated once).
+struct spinner {
+  double iters_per_ns;
+
+  spinner() {
+    // Calibrate the work loop.
+    const std::uint64_t t0 = tsc_clock::now();
+    volatile double acc = 1.0;
+    constexpr long probe = 2'000'000;
+    for (long i = 0; i < probe; ++i) acc = acc * 1.0000001 + 0.1;
+    const double ns = static_cast<double>(tsc_clock::to_ns(tsc_clock::now() - t0));
+    iters_per_ns = probe / ns;
+  }
+
+  void spin(double ns) const {
+    const long iters = static_cast<long>(ns * iters_per_ns);
+    volatile double acc = 1.0;
+    for (long i = 0; i < iters; ++i) acc = acc * 1.0000001 + 0.1;
+  }
+};
+
+}  // namespace
+
+namespace {
+
+// Simulator variant: the same task-size sweep as independent tasks on a
+// modeled platform (the paper's micro benchmark at the paper's core counts).
+int run_sim(const cli_args& args) {
+  const std::string platform = args.get("platform", "haswell");
+  const int cores = static_cast<int>(args.get_int("cores", 28));
+  sim::sim_backend backend(platform);
+  backend.set_workload(sim::sim_workload::independent);
+
+  std::cout << "Micro grain sweep (sim, " << platform << ", " << cores
+            << " cores): independent tasks, no dependency graph\n";
+  table_writer table(
+      {"partition", "tasks", "exec time (s)", "idle-rate (%)", "pending acc (k)"});
+  stencil::params base;
+  base.total_points = static_cast<std::size_t>(args.get_int("points", 10'000'000));
+  base.time_steps = static_cast<std::size_t>(args.get_int("steps", 10));
+  for (const std::size_t ps :
+       core::granularity_sweep(160, base.total_points, 3)) {
+    stencil::params p = base;
+    p.partition_size = ps;
+    p.normalize();
+    const auto m = backend.run(p, cores);
+    const double idle =
+        m.func_ns > 0 ? std::max(0.0, m.func_ns - m.exec_ns) / m.func_ns : 0;
+    table.add_row({format_count(static_cast<std::int64_t>(p.partition_size)),
+                   format_count(static_cast<std::int64_t>(m.tasks)),
+                   format_number(m.exec_time_s, 4), format_number(idle * 100, 1),
+                   format_number(static_cast<double>(m.pending_accesses) / 1e3, 1)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cli_args args(argc, argv);
+  if (args.get("mode", "native") == "sim") return run_sim(args);
+  const double total_us = args.get_double("total-us", 200'000.0);
+  const int workers = static_cast<int>(args.get_int("workers", 0));
+  const int samples = static_cast<int>(args.get_int("samples", 3));
+
+  const spinner work;
+  std::cout << "Micro grain sweep: " << total_us / 1e3
+            << " ms of busy work split into ever-coarser tasks (native runtime)\n";
+
+  table_writer table({"task size (us)", "tasks", "exec time (s)", "COV", "idle-rate (%)",
+                      "measured td (us)", "to (us)"});
+
+  for (const double task_us : {0.5, 2.0, 8.0, 32.0, 128.0, 512.0, 2'048.0, 8'192.0,
+                               32'768.0}) {
+    const auto n = static_cast<std::size_t>(total_us / task_us);
+    if (n == 0) break;
+
+    sample_stats times;
+    double idle_sum = 0, td_sum = 0, to_sum = 0;
+    for (int s = 0; s < samples; ++s) {
+      scheduler_config cfg;
+      cfg.num_workers = workers;
+      cfg.pin_workers = topology::host().num_cpus() >= workers;
+      thread_manager tm(cfg);
+      tm.reset_counters();
+
+      stopwatch clock;
+      latch done(static_cast<std::int64_t>(n));
+      for (std::size_t i = 0; i < n; ++i)
+        tm.spawn([&work, &done, task_us] {
+          work.spin(task_us * 1e3);
+          done.count_down();
+        });
+      done.wait();
+      times.add(clock.elapsed_s());
+
+      const auto t = tm.counter_totals();
+      const double exec = static_cast<double>(t.exec_ns);
+      const double func = static_cast<double>(t.func_ns);
+      idle_sum += func > 0 ? std::max(0.0, func - exec) / func : 0;
+      td_sum += t.tasks_executed ? exec / static_cast<double>(t.tasks_executed) : 0;
+      to_sum += t.tasks_executed
+                    ? std::max(0.0, func - exec) / static_cast<double>(t.tasks_executed)
+                    : 0;
+    }
+    table.add_row({format_number(task_us, 1),
+                   format_count(static_cast<std::int64_t>(n)),
+                   format_number(times.mean(), 4), format_number(times.cov(), 3),
+                   format_number(idle_sum / samples * 100, 1),
+                   format_number(td_sum / samples / 1e3, 2),
+                   format_number(to_sum / samples / 1e3, 2)});
+  }
+  table.print(std::cout);
+  const std::string csv = args.get("csv", "");
+  if (!csv.empty() && table.save_csv(csv + "micro_grain_sweep.csv"))
+    std::cout << "(csv written)\n";
+  return 0;
+}

@@ -1,0 +1,23 @@
+#include "algo/chunking.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace gran::algo {
+
+std::size_t resolve_chunk(const chunking& policy, std::size_t items, int workers) {
+  GRAN_ASSERT(workers >= 1);
+  if (const auto* fixed = std::get_if<static_chunk>(&policy))
+    return std::max<std::size_t>(1, fixed->size);
+  if (const auto* autoc = std::get_if<auto_chunk>(&policy)) {
+    const std::size_t tasks = std::max<std::size_t>(
+        1, static_cast<std::size_t>(workers) * std::max<std::size_t>(1, autoc->tasks_per_worker));
+    return std::max<std::size_t>(1, (items + tasks - 1) / tasks);
+  }
+  // adaptive_chunk resolves per wave inside the algorithm; its initial value
+  // is the answer for one-shot uses.
+  return std::max<std::size_t>(1, std::get<adaptive_chunk>(policy).initial);
+}
+
+}  // namespace gran::algo

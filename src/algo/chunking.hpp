@@ -1,0 +1,42 @@
+// Chunking policies for the parallel algorithms — the user-facing dial for
+// task granularity, the quantity the whole paper is about.
+//
+//   static_chunk{n}   every task covers exactly n items (the benchmark's
+//                     "partition size");
+//   auto_chunk{}      items / (workers * oversubscription) — a decent
+//                     static default when per-item cost is unknown;
+//   adaptive_chunk{}  starts fine and re-tunes between waves from the live
+//                     idle-rate counter (core/tuner.hpp) — the paper's
+//                     dynamic-adaptation goal.
+#pragma once
+
+#include <cstddef>
+#include <variant>
+
+#include "core/tuner.hpp"
+
+namespace gran::algo {
+
+struct static_chunk {
+  std::size_t size = 1;
+};
+
+struct auto_chunk {
+  // Target tasks per worker; more gives the scheduler load-balancing slack,
+  // fewer reduces overhead.
+  std::size_t tasks_per_worker = 4;
+};
+
+struct adaptive_chunk {
+  std::size_t initial = 16;
+  core::tuner_options options{};
+};
+
+using chunking = std::variant<static_chunk, auto_chunk, adaptive_chunk>;
+
+// Resolves a non-adaptive policy to a concrete chunk size for `items` of
+// work on `workers` workers (adaptive resolves per wave inside the
+// algorithm).
+std::size_t resolve_chunk(const chunking& policy, std::size_t items, int workers);
+
+}  // namespace gran::algo

@@ -1,0 +1,105 @@
+// Chunked parallel loops over index ranges.
+//
+//   parallel_for(tm, 0, n, [&](std::size_t i) { ... });                 // auto chunk
+//   parallel_for(tm, 0, n, fn, algo::static_chunk{4096});
+//   parallel_for(tm, 0, n, fn, algo::adaptive_chunk{.initial = 16});
+//
+// Each chunk becomes one task; the chunking policy is the task-granularity
+// dial. The adaptive policy re-tunes the chunk between waves from the
+// idle-rate counter (paper §VI's stated goal). Exceptions from `fn`
+// propagate to the caller (first one wins; the wave still drains).
+#pragma once
+
+#include <atomic>
+#include <exception>
+
+#include "algo/chunking.hpp"
+#include "sync/latch.hpp"
+#include "sync/spinlock.hpp"
+#include "threads/runtime.hpp"
+#include "threads/thread_manager.hpp"
+
+namespace gran::algo {
+
+namespace detail {
+
+// Runs one wave of chunk tasks over [first, last); records the first
+// exception into `error`.
+template <typename F>
+void run_wave(thread_manager& tm, std::size_t first, std::size_t last,
+              std::size_t chunk, const F& fn, std::atomic<bool>& failed,
+              std::exception_ptr& error, spinlock& error_guard) {
+  const std::size_t items = last - first;
+  const std::size_t tasks = (items + chunk - 1) / chunk;
+  latch done(static_cast<std::int64_t>(tasks));
+  for (std::size_t lo = first; lo < last; lo += chunk) {
+    const std::size_t hi = std::min(last, lo + chunk);
+    tm.spawn(
+        [&, lo, hi] {
+          try {
+            if (!failed.load(std::memory_order_relaxed))
+              for (std::size_t i = lo; i < hi; ++i) fn(i);
+          } catch (...) {
+            if (!failed.exchange(true, std::memory_order_acq_rel)) {
+              error_guard.lock();
+              error = std::current_exception();
+              error_guard.unlock();
+            }
+          }
+          done.count_down();
+        },
+        task_priority::normal, "parallel_for");
+  }
+  done.wait();
+}
+
+}  // namespace detail
+
+// Applies fn(i) for every i in [first, last) using `policy` chunking.
+template <typename F>
+void parallel_for(thread_manager& tm, std::size_t first, std::size_t last, F&& fn,
+                  const chunking& policy = auto_chunk{}) {
+  if (first >= last) return;
+  const std::size_t items = last - first;
+
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  spinlock error_guard;
+
+  if (const auto* adaptive = std::get_if<adaptive_chunk>(&policy)) {
+    // Wave-at-a-time with idle-rate feedback between waves.
+    core::grain_tuner tuner(adaptive->initial, adaptive->options);
+    std::size_t next = first;
+    while (next < last && !failed.load(std::memory_order_relaxed)) {
+      const std::size_t chunk = tuner.chunk();
+      const std::size_t wave_items = std::min<std::size_t>(
+          last - next,
+          std::max<std::size_t>(chunk * static_cast<std::size_t>(tm.num_workers()) * 4,
+                                chunk));
+      const auto before = tm.counter_totals();
+      detail::run_wave(tm, next, next + wave_items, chunk, fn, failed, error,
+                       error_guard);
+      const auto after = tm.counter_totals();
+      const double func = static_cast<double>(after.func_ns - before.func_ns);
+      const double exec = static_cast<double>(after.exec_ns - before.exec_ns);
+      const double idle = func > 0 ? std::max(0.0, func - exec) / func : 0.0;
+      tuner.update(idle, after.tasks_executed - before.tasks_executed,
+                   tm.num_workers());
+      next += wave_items;
+    }
+  } else {
+    const std::size_t chunk = resolve_chunk(policy, items, tm.num_workers());
+    detail::run_wave(tm, first, last, chunk, fn, failed, error, error_guard);
+  }
+
+  if (failed.load(std::memory_order_acquire) && error) std::rethrow_exception(error);
+}
+
+// Convenience overload on the resolved default manager.
+template <typename F>
+void parallel_for(std::size_t first, std::size_t last, F&& fn,
+                  const chunking& policy = auto_chunk{}) {
+  parallel_for(resolve_manager(), first, last, std::forward<F>(fn), policy);
+}
+
+}  // namespace gran::algo

@@ -1,0 +1,80 @@
+// Structured concurrency: a task_group owns the tasks spawned through it
+// and joins them in wait(), rethrowing the first child exception. Children
+// may spawn grandchildren into the same group (fork/join trees).
+//
+//   algo::task_group tg(tm);
+//   tg.run([&] { ... });
+//   tg.run([&] { tg.run([&] { ... }); });   // nested fork
+//   tg.wait();                              // joins everything
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <utility>
+
+#include "sync/event.hpp"
+#include "sync/spinlock.hpp"
+#include "threads/runtime.hpp"
+#include "threads/thread_manager.hpp"
+
+namespace gran::algo {
+
+class task_group {
+ public:
+  explicit task_group(thread_manager& tm) : tm_(tm) {}
+  task_group() : task_group(resolve_manager()) {}
+
+  task_group(const task_group&) = delete;
+  task_group& operator=(const task_group&) = delete;
+
+  // wait() must have joined everything before destruction.
+  ~task_group() { GRAN_ASSERT_MSG(pending_.load() == 0, "task_group destroyed while running"); }
+
+  // Spawns `f` as a child of this group.
+  template <typename F>
+  void run(F&& f) {
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    joined_.reset();
+    tm_.spawn(
+        [this, f = std::forward<F>(f)]() mutable {
+          try {
+            f();
+          } catch (...) {
+            record_exception(std::current_exception());
+          }
+          if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) joined_.set();
+        },
+        task_priority::normal, "task_group");
+  }
+
+  // Blocks (cooperatively inside tasks) until every child — including ones
+  // spawned by children after wait() started — has finished. Rethrows the
+  // first recorded child exception.
+  void wait() {
+    while (pending_.load(std::memory_order_acquire) != 0) joined_.wait();
+    std::exception_ptr error;
+    {
+      error_guard_.lock();
+      error = std::exchange(error_, nullptr);
+      error_guard_.unlock();
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+  std::size_t pending() const noexcept { return pending_.load(std::memory_order_acquire); }
+
+ private:
+  void record_exception(std::exception_ptr e) {
+    error_guard_.lock();
+    if (!error_) error_ = std::move(e);
+    error_guard_.unlock();
+  }
+
+  thread_manager& tm_;
+  std::atomic<std::size_t> pending_{0};
+  event joined_;
+  spinlock error_guard_;
+  std::exception_ptr error_;
+};
+
+}  // namespace gran::algo

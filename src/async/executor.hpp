@@ -1,0 +1,52 @@
+// Lightweight executor: a (manager, priority) pair behind one value type,
+// so APIs and data structures can carry "where and how to run work" without
+// referencing the thread manager directly — the shape of HPX's executor
+// concept, reduced to what this runtime needs.
+#pragma once
+
+#include "async/async.hpp"
+#include "async/dataflow.hpp"
+
+namespace gran {
+
+class executor {
+ public:
+  // Binds to the resolved default manager.
+  executor() : tm_(&resolve_manager()) {}
+  explicit executor(thread_manager& tm, task_priority priority = task_priority::normal)
+      : tm_(&tm), priority_(priority) {}
+
+  thread_manager& manager() const noexcept { return *tm_; }
+  task_priority priority() const noexcept { return priority_; }
+
+  // Same placement, different priority.
+  executor with_priority(task_priority p) const { return executor(*tm_, p); }
+
+  // Fire-and-forget (no future allocated).
+  template <typename F>
+  void post(F&& f) const {
+    tm_->spawn(std::forward<F>(f), priority_, "executor::post");
+  }
+
+  // Two-way execution: returns a future for f(args...).
+  template <typename F, typename... Args>
+  auto async(F&& f, Args&&... args) const {
+    return async_on(*tm_, priority_, std::forward<F>(f), std::forward<Args>(args)...);
+  }
+
+  // Dependency-driven execution on this executor.
+  template <typename F, typename... Ts>
+  auto dataflow(F&& f, future<Ts>... inputs) const {
+    return dataflow_on(*tm_, priority_, std::forward<F>(f), std::move(inputs)...);
+  }
+
+  friend bool operator==(const executor& a, const executor& b) noexcept {
+    return a.tm_ == b.tm_ && a.priority_ == b.priority_;
+  }
+
+ private:
+  thread_manager* tm_;
+  task_priority priority_ = task_priority::normal;
+};
+
+}  // namespace gran

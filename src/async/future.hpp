@@ -1,0 +1,243 @@
+// future / promise.
+//
+// gran::future has *shared-future* semantics (copyable; get() returns a
+// const reference) because the paper's benchmark wires each partition's
+// future into the dependency tree of up to three consumers per time step —
+// exactly how HPX-Stencil uses hpx::shared_future. An alias shared_future
+// exists for intent-revealing code.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+
+#include "async/shared_state.hpp"
+#include "threads/runtime.hpp"
+#include "threads/thread_manager.hpp"
+
+namespace gran {
+
+template <typename T>
+class future;
+
+namespace detail {
+
+// Routes the result of `call` (value, void return, or thrown exception)
+// into a shared state. State pointers are copyable, so these helpers can be
+// captured in std::function-based continuations and task bodies.
+template <typename R, typename F>
+void fulfill_state(const std::shared_ptr<shared_state<R>>& st, F&& call) {
+  if constexpr (std::is_void_v<R>) {
+    try {
+      std::forward<F>(call)();
+      st->set_value();
+    } catch (...) {
+      st->set_exception(std::current_exception());
+    }
+  } else {
+    try {
+      st->set_value(std::forward<F>(call)());
+    } catch (...) {
+      st->set_exception(std::current_exception());
+    }
+  }
+}
+
+// `call` returns a future<U>; the outer state adopts its outcome (future
+// unwrapping).
+template <typename U, typename F>
+void fulfill_state_unwrapped(const std::shared_ptr<shared_state<U>>& st, F&& call);
+
+// Result-type unwrapping: future<future<U>> collapses to future<U>.
+template <typename R>
+struct unwrap_result {
+  using type = R;
+  static constexpr bool is_future = false;
+};
+template <typename U>
+struct unwrap_result<future<U>> {
+  using type = U;
+  static constexpr bool is_future = true;
+};
+
+}  // namespace detail
+
+template <typename T>
+class future {
+ public:
+  using state_type = detail::shared_state<T>;
+
+  // Default-constructed futures are invalid (valid() == false).
+  future() = default;
+  explicit future(std::shared_ptr<state_type> state) : state_(std::move(state)) {}
+
+  bool valid() const noexcept { return state_ != nullptr; }
+  bool is_ready() const noexcept { return state_ && state_->is_ready(); }
+  bool has_exception() const noexcept { return state_ && state_->has_exception(); }
+
+  void wait() const {
+    GRAN_ASSERT_MSG(valid(), "wait on invalid future");
+    state_->wait();
+  }
+
+  // Timed waits (std::future_status::ready or ::timeout). Tasks suspend
+  // cooperatively with a timer-armed deadline; external threads park.
+  std::future_status wait_until(timer_service::clock::time_point deadline) const {
+    GRAN_ASSERT_MSG(valid(), "wait_until on invalid future");
+    return state_->wait_until(deadline) ? std::future_status::ready
+                                        : std::future_status::timeout;
+  }
+
+  template <typename Rep, typename Period>
+  std::future_status wait_for(std::chrono::duration<Rep, Period> d) const {
+    return wait_until(timer_service::clock::now() + d);
+  }
+
+  // Blocks until ready; returns the value (const reference for non-void T —
+  // shared semantics) or rethrows the stored exception.
+  decltype(auto) get() const {
+    GRAN_ASSERT_MSG(valid(), "get on invalid future");
+    if constexpr (std::is_void_v<T>) {
+      state_->get();
+    } else {
+      return static_cast<const T&>(state_->get());
+    }
+  }
+
+  // Attaches a continuation `f(future<T>)` that runs as a new task once
+  // this future is ready; returns the continuation's future (unwrapped if
+  // `f` itself returns a future). Exceptions from `f` travel into the
+  // returned future.
+  template <typename F>
+  auto then(F&& f, task_priority priority = task_priority::normal) const;
+
+  // Low-level hook used by when_all/dataflow: run `fn` (non-blocking!) when
+  // ready, inline if already ready.
+  void on_ready(std::function<void()> fn) const {
+    GRAN_ASSERT_MSG(valid(), "on_ready on invalid future");
+    state_->add_continuation(std::move(fn));
+  }
+
+  const std::shared_ptr<state_type>& state() const noexcept { return state_; }
+
+ private:
+  std::shared_ptr<state_type> state_;
+};
+
+// Intent-revealing alias: every gran::future already has shared semantics.
+template <typename T>
+using shared_future = future<T>;
+
+template <typename T>
+class promise {
+ public:
+  promise() : state_(std::make_shared<detail::shared_state<T>>()) {}
+  promise(promise&&) noexcept = default;
+  promise& operator=(promise&&) noexcept = default;
+  promise(const promise&) = delete;
+  promise& operator=(const promise&) = delete;
+
+  future<T> get_future() const { return future<T>(state_); }
+
+  template <typename... Args>
+  void set_value(Args&&... args) {
+    state_->set_value(std::forward<Args>(args)...);
+  }
+
+  void set_exception(std::exception_ptr error) { state_->set_exception(std::move(error)); }
+
+  const std::shared_ptr<detail::shared_state<T>>& state() const noexcept { return state_; }
+
+ private:
+  std::shared_ptr<detail::shared_state<T>> state_;
+};
+
+// Ready-made futures.
+template <typename T, typename... Args>
+future<T> make_ready_future(Args&&... args) {
+  promise<T> p;
+  p.set_value(std::forward<Args>(args)...);
+  return p.get_future();
+}
+
+inline future<void> make_ready_future() {
+  promise<void> p;
+  p.set_value();
+  return p.get_future();
+}
+
+template <typename T>
+future<T> make_exceptional_future(std::exception_ptr error) {
+  promise<T> p;
+  p.set_exception(std::move(error));
+  return p.get_future();
+}
+
+namespace detail {
+
+template <typename U, typename F>
+void fulfill_state_unwrapped(const std::shared_ptr<shared_state<U>>& st, F&& call) {
+  future<U> inner;
+  try {
+    inner = std::forward<F>(call)();
+  } catch (...) {
+    st->set_exception(std::current_exception());
+    return;
+  }
+  if (!inner.valid()) {
+    st->set_exception(
+        std::make_exception_ptr(std::future_error(std::future_errc::no_state)));
+    return;
+  }
+  inner.on_ready([st, inner] {
+    if (inner.has_exception()) {
+      st->set_exception(inner.state()->exception());
+    } else if constexpr (std::is_void_v<U>) {
+      st->set_value();
+    } else {
+      st->set_value(inner.get());
+    }
+  });
+}
+
+}  // namespace detail
+
+template <typename T>
+template <typename F>
+auto future<T>::then(F&& f, task_priority priority) const {
+  GRAN_ASSERT_MSG(valid(), "then on invalid future");
+  using R = std::invoke_result_t<std::decay_t<F>, future<T>>;
+  using U = typename detail::unwrap_result<R>::type;
+
+  auto st = std::make_shared<detail::shared_state<U>>();
+  thread_manager* tm = &resolve_manager();
+
+  future<T> self = *this;
+  on_ready([tm, st, f = std::forward<F>(f), self, priority] {
+    tm->spawn(
+        [st, f, self] {
+          if constexpr (detail::unwrap_result<R>::is_future) {
+            detail::fulfill_state_unwrapped(st, [&] { return f(self); });
+          } else {
+            detail::fulfill_state<U>(st, [&]() -> decltype(auto) { return f(self); });
+          }
+        },
+        priority, "future::then");
+  });
+  return future<U>(st);
+}
+
+// Unwraps a future<future<U>> into a future<U>.
+template <typename U>
+future<U> unwrap(future<future<U>> outer) {
+  auto st = std::make_shared<detail::shared_state<U>>();
+  outer.on_ready([outer, st] {
+    if (outer.has_exception()) {
+      st->set_exception(outer.state()->exception());
+      return;
+    }
+    detail::fulfill_state_unwrapped(st, [&] { return outer.get(); });
+  });
+  return future<U>(st);
+}
+
+}  // namespace gran

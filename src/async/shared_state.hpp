@@ -1,0 +1,211 @@
+// Shared state behind future/promise.
+//
+// Holds exactly one of {nothing, value, exception}; supports cooperative
+// waiting (tasks suspend, external threads park) and attached continuations
+// (run by the fulfilling thread, in registration order, outside the state's
+// lock). Continuations are the mechanism dataflow/when_all/then use to turn
+// data dependencies into the runtime-generated execution tree the paper
+// describes (§I-C).
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <future>  // std::future_error / future_errc
+#include <optional>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "sync/spinlock.hpp"
+#include "sync/timer_service.hpp"
+#include "sync/wait_queue.hpp"
+#include "util/assert.hpp"
+
+namespace gran::detail {
+
+template <typename T>
+struct state_storage {
+  using type = T;
+};
+template <>
+struct state_storage<void> {
+  using type = std::monostate;
+};
+
+template <typename T>
+class shared_state {
+ public:
+  using storage_t = typename state_storage<T>::type;
+  using continuation_fn = std::function<void()>;
+
+  shared_state() = default;
+  shared_state(const shared_state&) = delete;
+  shared_state& operator=(const shared_state&) = delete;
+
+  bool is_ready() const noexcept { return ready_.load(std::memory_order_acquire); }
+
+  // --- producer side ------------------------------------------------------
+
+  template <typename... Args>
+  void set_value(Args&&... args) {
+    std::vector<continuation_fn> continuations;
+    {
+      guard_.lock();
+      if (ready_.load(std::memory_order_relaxed)) {
+        guard_.unlock();
+        throw std::future_error(std::future_errc::promise_already_satisfied);
+      }
+      value_.emplace(std::forward<Args>(args)...);
+      ready_.store(true, std::memory_order_release);
+      waiters_.notify_all();
+      continuations.swap(continuations_);
+      guard_.unlock();
+    }
+    for (auto& fn : continuations) fn();
+  }
+
+  void set_exception(std::exception_ptr error) {
+    GRAN_ASSERT(error != nullptr);
+    std::vector<continuation_fn> continuations;
+    {
+      guard_.lock();
+      if (ready_.load(std::memory_order_relaxed)) {
+        guard_.unlock();
+        throw std::future_error(std::future_errc::promise_already_satisfied);
+      }
+      error_ = std::move(error);
+      ready_.store(true, std::memory_order_release);
+      waiters_.notify_all();
+      continuations.swap(continuations_);
+      guard_.unlock();
+    }
+    for (auto& fn : continuations) fn();
+  }
+
+  // --- consumer side ------------------------------------------------------
+
+  void wait() const {
+    if (is_ready()) return;
+    for (;;) {
+      task* const t = thread_manager::current_task();
+      if (t != nullptr) this_task::prepare_suspend();
+
+      guard_.lock();
+      if (ready_.load(std::memory_order_relaxed)) {
+        guard_.unlock();
+        if (t != nullptr) this_task::cancel_suspend();
+        return;
+      }
+      if (t != nullptr) {
+        waiters_.add_task(t);
+        guard_.unlock();
+        this_task::commit_suspend();
+        // Readiness is monotonic; loop only as spurious-wake insurance.
+      } else {
+        external_waiter w;
+        waiters_.add_external(&w);
+        guard_.unlock();
+        w.wait();
+        return;
+      }
+    }
+  }
+
+  // Timed wait: blocks until ready or `deadline`. Returns true when the
+  // state is ready (possibly having become ready exactly at wake-up).
+  bool wait_until(timer_service::clock::time_point deadline) const {
+    if (is_ready()) return true;
+    task* const t = thread_manager::current_task();
+    if (t == nullptr) {
+      // External thread: a timed park, with stale-entry cleanup on timeout.
+      for (;;) {
+        external_waiter w;
+        guard_.lock();
+        if (ready_.load(std::memory_order_relaxed)) {
+          guard_.unlock();
+          return true;
+        }
+        if (timer_service::clock::now() >= deadline) {
+          guard_.unlock();
+          return false;
+        }
+        waiters_.add_external(&w);
+        guard_.unlock();
+        if (w.wait_until(deadline)) return true;
+        guard_.lock();
+        const bool removed = waiters_.remove_external(&w);
+        guard_.unlock();
+        // Not removed => a notifier popped us concurrently; it will (or
+        // already did) call notify(), making the slot safe to destroy only
+        // after that delivery: absorb it.
+        if (!removed) w.wait();
+        if (is_ready()) return true;
+      }
+    }
+    // Task path: park with a cancellable timer wake racing the notifier.
+    for (;;) {
+      this_task::prepare_suspend();
+      guard_.lock();
+      if (ready_.load(std::memory_order_relaxed)) {
+        guard_.unlock();
+        this_task::cancel_suspend();
+        return true;
+      }
+      if (timer_service::clock::now() >= deadline) {
+        guard_.unlock();
+        this_task::cancel_suspend();
+        return false;
+      }
+      waiters_.add_task(t);
+      guard_.unlock();
+      const wake_ticket ticket = timer_service::global().schedule_wake(t, deadline);
+      this_task::commit_suspend();
+      // Either the notifier or the timer woke us. Retire the timer claim
+      // (waiting out an in-flight delivery) and drop any stale waiter entry
+      // before looping.
+      wake_ticket_cancel(ticket);
+      guard_.lock();
+      waiters_.remove(t);
+      guard_.unlock();
+      if (is_ready()) return true;
+      if (timer_service::clock::now() >= deadline) return false;
+    }
+  }
+
+  // Blocks, then returns the stored value or rethrows the stored exception.
+  const storage_t& get() const {
+    wait();
+    if (error_) std::rethrow_exception(error_);
+    return *value_;
+  }
+
+  bool has_exception() const noexcept {
+    return is_ready() && error_ != nullptr;
+  }
+  std::exception_ptr exception() const noexcept {
+    return is_ready() ? error_ : nullptr;
+  }
+
+  // Runs `fn` when the state becomes ready. If it already is, `fn` runs
+  // inline in the calling thread. `fn` must not block.
+  void add_continuation(continuation_fn fn) {
+    guard_.lock();
+    if (!ready_.load(std::memory_order_relaxed)) {
+      continuations_.push_back(std::move(fn));
+      guard_.unlock();
+      return;
+    }
+    guard_.unlock();
+    fn();
+  }
+
+ private:
+  mutable spinlock guard_;
+  mutable wait_queue waiters_;
+  std::vector<continuation_fn> continuations_;
+  std::optional<storage_t> value_;
+  std::exception_ptr error_;
+  std::atomic<bool> ready_{false};
+};
+
+}  // namespace gran::detail

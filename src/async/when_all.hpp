@@ -1,0 +1,85 @@
+// when_all / when_any — readiness composition over sets of futures.
+//
+// Together with future::then these are HPX's "additional facilities to
+// compose Futures sequentially and in parallel" (§I-C) from which the
+// benchmark builds its dependency tree. Since gran futures are shared,
+// when_all returns future<void>: callers keep their own (cheap) copies of
+// the inputs and read them after the signal.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "async/future.hpp"
+
+namespace gran {
+
+namespace detail {
+
+struct when_all_control {
+  explicit when_all_control(std::size_t n) : remaining(n) {}
+  std::atomic<std::size_t> remaining;
+  std::shared_ptr<shared_state<void>> st = std::make_shared<shared_state<void>>();
+
+  void arrive() {
+    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) st->set_value();
+  }
+};
+
+}  // namespace detail
+
+// Ready when every input is ready (exceptions count as ready; inspect the
+// inputs afterwards).
+template <typename T>
+future<void> when_all(const std::vector<future<T>>& futures) {
+  if (futures.empty()) return make_ready_future();
+  auto ctl = std::make_shared<detail::when_all_control>(futures.size());
+  future<void> result(ctl->st);
+  for (const auto& f : futures) {
+    GRAN_ASSERT_MSG(f.valid(), "when_all over an invalid future");
+    f.on_ready([ctl] { ctl->arrive(); });
+  }
+  return result;
+}
+
+template <typename... Ts>
+future<void> when_all(const future<Ts>&... futures) {
+  constexpr std::size_t n = sizeof...(Ts);
+  if constexpr (n == 0) {
+    return make_ready_future();
+  } else {
+    auto ctl = std::make_shared<detail::when_all_control>(n);
+    future<void> result(ctl->st);
+    (
+        [&] {
+          GRAN_ASSERT_MSG(futures.valid(), "when_all over an invalid future");
+          futures.on_ready([ctl] { ctl->arrive(); });
+        }(),
+        ...);
+    return result;
+  }
+}
+
+// Ready when the first input is ready; the value is that input's index.
+template <typename T>
+future<std::size_t> when_any(const std::vector<future<T>>& futures) {
+  GRAN_ASSERT_MSG(!futures.empty(), "when_any over an empty set");
+  struct control {
+    std::atomic<bool> fired{false};
+    std::shared_ptr<detail::shared_state<std::size_t>> st =
+        std::make_shared<detail::shared_state<std::size_t>>();
+  };
+  auto ctl = std::make_shared<control>();
+  future<std::size_t> result(ctl->st);
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    GRAN_ASSERT_MSG(futures[i].valid(), "when_any over an invalid future");
+    futures[i].on_ready([ctl, i] {
+      if (!ctl->fired.exchange(true, std::memory_order_acq_rel)) ctl->st->set_value(i);
+    });
+  }
+  return result;
+}
+
+}  // namespace gran

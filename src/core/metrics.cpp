@@ -1,0 +1,28 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+namespace gran::core {
+
+metrics compute_metrics(const run_measurement& run, double td1_ns) {
+  metrics m;
+
+  const double overhead_ns = std::max(0.0, run.func_ns - run.exec_ns);
+  if (run.func_ns > 0.0) m.idle_rate = overhead_ns / run.func_ns;
+
+  const double nt = static_cast<double>(run.tasks);
+  const double nc = static_cast<double>(std::max(1, run.cores));
+  if (nt > 0.0) {
+    m.task_duration_ns = run.exec_ns / nt;   // Eq. 2
+    m.task_overhead_ns = overhead_ns / nt;   // Eq. 3
+    m.tm_overhead_s = m.task_overhead_ns * nt / nc * 1e-9;  // Eq. 4
+    if (td1_ns > 0.0) {
+      m.wait_per_task_ns = m.task_duration_ns - td1_ns;        // Eq. 5
+      m.wait_time_s = m.wait_per_task_ns * nt / nc * 1e-9;     // Eq. 6
+    }
+  }
+  m.tm_plus_wait_s = m.tm_overhead_s + m.wait_time_s;
+  return m;
+}
+
+}  // namespace gran::core

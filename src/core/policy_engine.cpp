@@ -1,0 +1,92 @@
+#include "core/policy_engine.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace gran::core {
+
+policy_engine::policy_engine(options opts) : opts_(opts) {}
+
+policy_engine::~policy_engine() { stop(); }
+
+void policy_engine::add_policy(std::string name, std::vector<std::string> counters,
+                               policy_fn fn) {
+  GRAN_ASSERT_MSG(!running(), "add_policy before start()");
+  for (const auto& c : counters)
+    if (std::find(all_counters_.begin(), all_counters_.end(), c) == all_counters_.end())
+      all_counters_.push_back(c);
+  policies_.push_back(policy{std::move(name), std::move(counters), std::move(fn)});
+}
+
+void policy_engine::start() {
+  GRAN_ASSERT_MSG(!running(), "policy engine already running");
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { engine_main(); });
+}
+
+void policy_engine::stop() {
+  if (!running()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void policy_engine::engine_main() {
+  perf::snapshot previous = perf::snapshot::capture_paths(all_counters_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    if (cv_.wait_for(lock, opts_.period,
+                     [this] { return stopping_.load(std::memory_order_acquire); }))
+      break;
+    lock.unlock();
+
+    const perf::snapshot current = perf::snapshot::capture_paths(all_counters_);
+    const perf::interval delta(previous, current);
+    const std::uint64_t tick = ticks_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    for (const auto& p : policies_) {
+      // Policies must not throw: they run on the engine thread.
+      try {
+        p.fn(delta, tick);
+      } catch (const std::exception& e) {
+        GRAN_LOG_ERROR("policy '%s' threw: %s", p.name.c_str(), e.what());
+      }
+    }
+    previous = current;
+
+    lock.lock();
+  }
+}
+
+std::vector<std::string> granularity_policy_counters() {
+  // Cumulative time counters, so the idle-rate can be computed *over the
+  // interval* rather than since runtime start.
+  return {"/threads/time/cumulative", "/threads/time/overall",
+          "/threads/count/cumulative"};
+}
+
+policy_engine::policy_fn make_granularity_policy(
+    grain_tuner& tuner, int cores, std::function<void(std::size_t)> on_change) {
+  return [&tuner, cores, on_change = std::move(on_change)](const perf::interval& delta,
+                                                           std::uint64_t /*tick*/) {
+    // Interval idle-rate from the cumulative-time deltas (Eq. 1 over the
+    // measurement window — the "any interval of interest" of paper §II-A).
+    const double exec = delta.value("/threads/time/cumulative", 0.0);
+    const double func = delta.value("/threads/time/overall", 0.0);
+    const auto tasks = static_cast<std::uint64_t>(
+        std::max(0.0, delta.value("/threads/count/cumulative", 0.0)));
+    if (tasks == 0 || func <= 0.0) return;  // no activity: nothing to learn
+    const double idle = std::max(0.0, func - exec) / func;
+    const std::size_t before = tuner.chunk();
+    const std::size_t after = tuner.update(idle, tasks, cores);
+    if (after != before && on_change) on_change(after);
+  };
+}
+
+}  // namespace gran::core

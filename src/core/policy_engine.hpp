@@ -1,0 +1,93 @@
+// Runtime policy engine — the APEX-style component the paper's §VI plans to
+// drive with its metrics ("apply our findings to drive the policy engine
+// with our metrics for adapting thread granularity and scheduling
+// policies").
+//
+// A background thread samples a set of performance counters on a fixed
+// period and hands each registered policy the *interval* since the previous
+// tick (monotonic counters arrive as deltas, gauges/rates as end values —
+// exactly the semantics of perf::interval). Policies react by invoking
+// application callbacks: changing a grain-size knob, logging, flipping a
+// scheduler parameter.
+//
+// A ready-made granularity policy wires the paper's idle-rate threshold to
+// a grain_tuner, turning §IV-A's observation into a closed control loop.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/tuner.hpp"
+#include "perf/sampler.hpp"
+
+namespace gran::core {
+
+struct policy_engine_options {
+  std::chrono::milliseconds period{50};
+};
+
+class policy_engine {
+ public:
+  using options = policy_engine_options;
+
+  // A policy sees the counter interval of the last period and the engine's
+  // tick number.
+  using policy_fn = std::function<void(const perf::interval&, std::uint64_t tick)>;
+
+  explicit policy_engine(options opts = {});
+  ~policy_engine();  // stops and joins
+
+  policy_engine(const policy_engine&) = delete;
+  policy_engine& operator=(const policy_engine&) = delete;
+
+  // Registers a policy evaluated every period. `counters` lists the paths
+  // the policy needs (they are sampled together each tick). Must be called
+  // before start().
+  void add_policy(std::string name, std::vector<std::string> counters, policy_fn fn);
+
+  void start();
+  void stop();
+  bool running() const noexcept { return running_.load(std::memory_order_acquire); }
+
+  // Ticks evaluated so far.
+  std::uint64_t ticks() const noexcept { return ticks_.load(std::memory_order_acquire); }
+
+ private:
+  void engine_main();
+
+  struct policy {
+    std::string name;
+    std::vector<std::string> counters;
+    policy_fn fn;
+  };
+
+  options opts_;
+  std::vector<policy> policies_;
+  std::vector<std::string> all_counters_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> ticks_{0};
+};
+
+// The paper's granularity control loop as a pre-packaged policy: watches
+// /threads/idle-rate and /threads/count/cumulative over each interval,
+// feeds them to a grain_tuner, and reports chunk-size changes through
+// `on_change(new_chunk)`. Attach the returned policy with add_policy().
+policy_engine::policy_fn make_granularity_policy(
+    grain_tuner& tuner, int cores, std::function<void(std::size_t)> on_change);
+
+// The counter paths the granularity policy needs.
+std::vector<std::string> granularity_policy_counters();
+
+}  // namespace gran::core

@@ -1,0 +1,59 @@
+#include "core/selectors.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace gran::core {
+
+namespace {
+
+selection make_selection(const std::vector<sweep_point>& sweep, std::size_t index) {
+  const double best = best_exec_time(sweep).exec_time_s;
+  selection s;
+  s.index = index;
+  s.partition_size = sweep[index].partition_size;
+  s.exec_time_s = sweep[index].exec_time_s.mean();
+  s.regret = best > 0.0 ? s.exec_time_s / best - 1.0 : 0.0;
+  return s;
+}
+
+}  // namespace
+
+selection best_exec_time(const std::vector<sweep_point>& sweep) {
+  GRAN_ASSERT_MSG(!sweep.empty(), "selector over an empty sweep");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < sweep.size(); ++i)
+    if (sweep[i].exec_time_s.mean() < sweep[best].exec_time_s.mean()) best = i;
+  selection s;
+  s.index = best;
+  s.partition_size = sweep[best].partition_size;
+  s.exec_time_s = sweep[best].exec_time_s.mean();
+  s.regret = 0.0;
+  return s;
+}
+
+std::optional<selection> idle_rate_threshold(const std::vector<sweep_point>& sweep,
+                                             double threshold) {
+  GRAN_ASSERT_MSG(!sweep.empty(), "selector over an empty sweep");
+  // Scan from the finest grain upward; the paper wants the *smallest*
+  // acceptable partition size.
+  std::vector<std::size_t> order(sweep.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return sweep[a].partition_size < sweep[b].partition_size;
+  });
+  for (const std::size_t i : order)
+    if (sweep[i].m.idle_rate <= threshold) return make_selection(sweep, i);
+  return std::nullopt;
+}
+
+selection pending_queue_minimum(const std::vector<sweep_point>& sweep) {
+  GRAN_ASSERT_MSG(!sweep.empty(), "selector over an empty sweep");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < sweep.size(); ++i)
+    if (sweep[i].mean.pending_accesses < sweep[best].mean.pending_accesses) best = i;
+  return make_selection(sweep, best);
+}
+
+}  // namespace gran::core

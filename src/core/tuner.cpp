@@ -1,0 +1,102 @@
+#include "core/tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sync/latch.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace gran::core {
+
+grain_tuner::grain_tuner(std::size_t initial_chunk, options opts)
+    : opts_(opts), chunk_(std::clamp(initial_chunk, opts.min_chunk, opts.max_chunk)) {
+  GRAN_ASSERT(opts_.min_chunk >= 1 && opts_.max_chunk >= opts_.min_chunk);
+  GRAN_ASSERT(opts_.high_water > opts_.low_water);
+}
+
+std::size_t grain_tuner::update(double idle_rate, std::uint64_t tasks_in_interval,
+                                int cores) {
+  const std::size_t before = chunk_;
+
+  if (idle_rate > opts_.high_water) {
+    if (tasks_in_interval < static_cast<std::uint64_t>(std::max(1, cores)) * 2) {
+      // Starvation regime: too few tasks to keep the cores busy — the only
+      // fix granularity offers is *smaller* chunks.
+      chunk_ = static_cast<std::size_t>(
+          std::max(1.0, std::floor(static_cast<double>(chunk_) * opts_.shrink_factor)));
+    } else {
+      // Overhead regime: plenty of tasks but management dominates — coarsen.
+      // Far above the watermark the chunk is orders of magnitude off, so
+      // square the growth factor to converge in O(log) waves instead of
+      // crawling doubling by doubling.
+      const double factor = idle_rate > 0.5 + opts_.high_water / 2.0
+                                ? opts_.grow_factor * opts_.grow_factor
+                                : opts_.grow_factor;
+      chunk_ = static_cast<std::size_t>(std::ceil(static_cast<double>(chunk_) * factor));
+    }
+  }
+  // Inside the hysteresis band (or below low_water): hold. Idle-rate below
+  // low_water means scheduling costs are already negligible; growing further
+  // only risks load imbalance (paper §IV-A: idle-rate alone cannot locate
+  // the optimum, so the controller is deliberately conservative here).
+
+  chunk_ = std::clamp(chunk_, opts_.min_chunk, opts_.max_chunk);
+  history_.push_back(decision{idle_rate, before, chunk_});
+  return chunk_;
+}
+
+adaptive_run_report adaptive_chunked_for_each(
+    thread_manager& tm, std::size_t n, std::size_t initial_chunk,
+    const std::function<void(std::size_t, std::size_t)>& fn, tuner_options opts,
+    std::size_t wave_size) {
+  grain_tuner tuner(initial_chunk, opts);
+  adaptive_run_report report;
+
+  // Default wave: enough items that every core sees several tasks even at
+  // the current chunk size.
+  const auto wave_items = [&]() -> std::size_t {
+    if (wave_size != 0) return wave_size;
+    return std::max<std::size_t>(tuner.chunk() * static_cast<std::size_t>(tm.num_workers()) * 4,
+                                 tuner.chunk());
+  };
+
+  stopwatch clock;
+  std::size_t next = 0;
+  while (next < n) {
+    const std::size_t wave_end = std::min(n, next + wave_items());
+    const std::size_t chunk = tuner.chunk();
+    const std::size_t num_tasks = (wave_end - next + chunk - 1) / chunk;
+
+    const auto before = tm.counter_totals();
+
+    latch done(static_cast<std::int64_t>(num_tasks));
+    for (std::size_t first = next; first < wave_end; first += chunk) {
+      const std::size_t last = std::min(wave_end, first + chunk);
+      tm.spawn(
+          [&fn, &done, first, last] {
+            fn(first, last);
+            done.count_down();
+          },
+          task_priority::normal, "adaptive-chunk");
+    }
+    done.wait();
+
+    const auto after = tm.counter_totals();
+    const double func = static_cast<double>(after.func_ns - before.func_ns);
+    const double exec = static_cast<double>(after.exec_ns - before.exec_ns);
+    const double idle_rate = func > 0.0 ? std::max(0.0, func - exec) / func : 0.0;
+    const std::uint64_t tasks = after.tasks_executed - before.tasks_executed;
+
+    tuner.update(idle_rate, tasks, tm.num_workers());
+    ++report.waves;
+    next = wave_end;
+  }
+
+  report.elapsed_s = clock.elapsed_s();
+  report.final_chunk = tuner.chunk();
+  report.decisions = tuner.history();
+  return report;
+}
+
+}  // namespace gran::core

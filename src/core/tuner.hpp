@@ -1,0 +1,78 @@
+// Adaptive grain-size tuner — the paper's stated goal ("the first step
+// toward the goal of dynamically adapting task size"), built here as the
+// natural extension of its metric methodology.
+//
+// The controller watches the idle-rate over measurement intervals and
+// adjusts the chunk (partition) size between waves of work:
+//   * idle-rate above `high_water`  -> tasks too fine, grow the chunk;
+//   * idle-rate below `low_water` AND execution regressing -> chunk may be
+//     too coarse (starvation shows up as idle-rate too, so also shrink when
+//     there are fewer tasks than cores).
+// A hysteresis band between the watermarks avoids oscillation.
+//
+// adaptive_chunked_for_each() demonstrates the controller end-to-end: it
+// processes an index range in waves of chunked tasks, re-tuning the chunk
+// size from live /threads counters after every wave.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "threads/thread_manager.hpp"
+
+namespace gran::core {
+
+struct tuner_options {
+  double high_water = 0.30;   // paper §IV-A's workable threshold
+  double low_water = 0.05;
+  double grow_factor = 2.0;
+  double shrink_factor = 0.5;
+  std::size_t min_chunk = 1;
+  std::size_t max_chunk = std::size_t{1} << 30;
+};
+
+class grain_tuner {
+ public:
+  using options = tuner_options;
+
+  explicit grain_tuner(std::size_t initial_chunk, options opts = {});
+
+  // Feeds one interval's observations; returns the chunk size to use next.
+  // `tasks_in_interval` vs `cores` distinguishes fine-grain overhead (many
+  // tasks, high idle-rate) from coarse-grain starvation (fewer tasks than
+  // cores, also high idle-rate).
+  std::size_t update(double idle_rate, std::uint64_t tasks_in_interval, int cores);
+
+  std::size_t chunk() const noexcept { return chunk_; }
+
+  struct decision {
+    double idle_rate;
+    std::size_t chunk_before;
+    std::size_t chunk_after;
+  };
+  const std::vector<decision>& history() const noexcept { return history_; }
+
+ private:
+  options opts_;
+  std::size_t chunk_;
+  std::vector<decision> history_;
+};
+
+struct adaptive_run_report {
+  std::size_t final_chunk = 0;
+  std::size_t waves = 0;
+  double elapsed_s = 0.0;
+  std::vector<grain_tuner::decision> decisions;
+};
+
+// Applies `fn(first, last)` over [0, n) in adaptively sized chunks, one wave
+// at a time. Each wave spawns ceil(remaining_wave / chunk) tasks on `tm`,
+// waits for them, then re-tunes the chunk from the interval's idle-rate.
+adaptive_run_report adaptive_chunked_for_each(
+    thread_manager& tm, std::size_t n, std::size_t initial_chunk,
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    tuner_options opts = {}, std::size_t wave_size = 0);
+
+}  // namespace gran::core

@@ -1,0 +1,71 @@
+// Stackful fiber: a resumable user-level thread of execution.
+//
+// A fiber is always resumed *by* some other context (a worker's scheduler
+// loop) and suspends *back to* its most recent resumer. This pairwise
+// discipline is exactly what the cooperative HPX-thread model needs: the
+// scheduler resumes a task, the task runs until it finishes a thread-phase
+// (completes or cooperatively yields), and control returns to the scheduler
+// without any kernel transition.
+#pragma once
+
+#include "fiber/context.hpp"
+#include "fiber/stack.hpp"
+#include "util/unique_function.hpp"
+
+namespace gran {
+
+class fiber {
+ public:
+  // Move-only: bodies may capture unique_ptr and friends.
+  using body_fn = unique_function<void()>;
+
+  // Creates a fiber that will run `body` on `stack` at first resume.
+  fiber(fiber_stack stack, body_fn body);
+  ~fiber();
+
+  fiber(const fiber&) = delete;
+  fiber& operator=(const fiber&) = delete;
+
+  // Runs/continues the fiber on the calling thread until it suspends or
+  // finishes. Returns the value the fiber passed to suspend(), or nullptr
+  // when the body returned. Must not be called on a finished fiber, nor
+  // re-entered while the fiber is running.
+  void* resume(void* arg = nullptr);
+
+  // Called from *inside* the fiber: suspends back to the resumer, passing
+  // `arg` as resume()'s return value. Returns the argument of the next
+  // resume().
+  void* suspend(void* arg = nullptr);
+
+  // True once the body has returned. The stack can then be reclaimed.
+  bool finished() const noexcept { return finished_; }
+  bool running() const noexcept { return running_; }
+
+  // Takes the stack out of a finished fiber for pooling.
+  fiber_stack take_stack();
+
+  // The fiber currently executing on this OS thread (nullptr outside any).
+  static fiber* current() noexcept;
+
+ private:
+  static void entry(void* self);
+  void run_body();
+
+  fiber_stack stack_;
+  body_fn body_;
+  execution_context self_ctx_;    // saved state of the fiber when suspended
+  execution_context return_ctx_;  // saved state of the most recent resumer
+  bool started_ = false;
+  bool running_ = false;
+  bool finished_ = false;
+  // Sanitizer fiber-switch bookkeeping (unused outside sanitizer builds;
+  // kept unconditionally so the ABI does not depend on sanitizer flags).
+  void* asan_resumer_fake_ = nullptr;
+  void* asan_self_fake_ = nullptr;
+  const void* asan_resumer_bottom_ = nullptr;
+  std::size_t asan_resumer_size_ = 0;
+  void* tsan_fiber_ = nullptr;          // this context, as a TSan fiber
+  void* tsan_resumer_fiber_ = nullptr;  // the context to switch back to
+};
+
+}  // namespace gran

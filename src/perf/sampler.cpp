@@ -1,0 +1,59 @@
+#include "perf/sampler.hpp"
+
+#include <chrono>
+
+namespace gran::perf {
+
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+snapshot snapshot::capture(const std::vector<std::string>& prefixes) {
+  std::vector<std::string> paths;
+  for (const auto& prefix : prefixes)
+    for (auto& p : registry::instance().list(prefix)) paths.push_back(std::move(p));
+  return capture_paths(paths);
+}
+
+snapshot snapshot::capture_paths(const std::vector<std::string>& paths) {
+  snapshot s;
+  s.timestamp_ns_ = now_ns();
+  for (const auto& path : paths) {
+    const auto v = registry::instance().query(path);
+    if (v) s.values_[path] = v->value;
+  }
+  return s;
+}
+
+double snapshot::value(const std::string& path, double def) const {
+  const auto it = values_.find(path);
+  return it == values_.end() ? def : it->second;
+}
+
+interval::interval(const snapshot& begin, const snapshot& end) {
+  span_ns_ = end.timestamp_ns() - begin.timestamp_ns();
+  for (const auto& [path, end_value] : end.values()) {
+    end_values_[path] = end_value;
+    deltas_[path] = end_value - begin.value(path, 0.0);
+  }
+}
+
+double interval::value(const std::string& path, double def) const {
+  const auto kind = registry::instance().kind_of(path);
+  if (kind && *kind == counter_kind::monotonic) return delta(path, def);
+  const auto it = end_values_.find(path);
+  return it == end_values_.end() ? def : it->second;
+}
+
+double interval::delta(const std::string& path, double def) const {
+  const auto it = deltas_.find(path);
+  return it == deltas_.end() ? def : it->second;
+}
+
+}  // namespace gran::perf

@@ -1,0 +1,56 @@
+// Snapshot/interval sampling over the counter registry.
+//
+// The paper's metrics are computed over measurement intervals ("for dynamic
+// measurements this metric can be calculated over any interval of interest",
+// §II-A). A snapshot captures a set of counters at one instant; an interval
+// is the difference of two snapshots, with correct semantics per counter
+// kind (monotonic counters are differenced, gauges and rates take the end
+// value).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "perf/counters.hpp"
+
+namespace gran::perf {
+
+class snapshot {
+ public:
+  // Samples every registered counter matching one of the prefixes
+  // (default: everything).
+  static snapshot capture(const std::vector<std::string>& prefixes = {"/"});
+
+  // Samples an explicit list of paths (unknown paths are skipped).
+  static snapshot capture_paths(const std::vector<std::string>& paths);
+
+  bool has(const std::string& path) const { return values_.count(path) != 0; }
+  double value(const std::string& path, double def = 0.0) const;
+  std::int64_t timestamp_ns() const { return timestamp_ns_; }
+  const std::map<std::string, double>& values() const { return values_; }
+
+ private:
+  std::map<std::string, double> values_;
+  std::int64_t timestamp_ns_ = 0;
+};
+
+// Difference of two snapshots of the same counter set.
+class interval {
+ public:
+  interval(const snapshot& begin, const snapshot& end);
+
+  // Monotonic counters: end − begin. Gauges/rates: end value.
+  double value(const std::string& path, double def = 0.0) const;
+  // Raw end-minus-begin difference regardless of kind.
+  double delta(const std::string& path, double def = 0.0) const;
+  // Wall-clock span of the interval in nanoseconds.
+  std::int64_t span_ns() const { return span_ns_; }
+
+ private:
+  std::map<std::string, double> deltas_;
+  std::map<std::string, double> end_values_;
+  std::int64_t span_ns_ = 0;
+};
+
+}  // namespace gran::perf

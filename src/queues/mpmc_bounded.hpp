@@ -1,0 +1,103 @@
+// Bounded lock-free multi-producer/multi-consumer FIFO (Vyukov's
+// sequence-numbered ring). Each slot carries a sequence counter that encodes
+// whether it is ready for the next producer or consumer, avoiding ABA
+// without any memory reclamation machinery.
+//
+// This is the lock-free fast path of the scheduler's task queues; overflow
+// beyond the fixed capacity is handled by the unbounded concurrent_fifo.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/cacheline.hpp"
+
+namespace gran {
+
+template <typename T>
+class mpmc_bounded {
+ public:
+  explicit mpmc_bounded(std::size_t capacity)
+      : mask_(std::bit_ceil(std::max<std::size_t>(capacity, 2)) - 1),
+        slots_(mask_ + 1) {
+    for (std::size_t i = 0; i <= mask_; ++i)
+      slots_[i].sequence.store(i, std::memory_order_relaxed);
+  }
+
+  mpmc_bounded(const mpmc_bounded&) = delete;
+  mpmc_bounded& operator=(const mpmc_bounded&) = delete;
+
+  // Returns false when the ring is full.
+  bool push(T value) {
+    std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      slot& s = slots_[pos & mask_];
+      const std::size_t seq = s.sequence.load(std::memory_order_acquire);
+      const std::intptr_t diff =
+          static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed))
+          break;
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    slot& s = slots_[pos & mask_];
+    s.value = std::move(value);
+    s.sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Empty optional when no element is available.
+  std::optional<T> pop() {
+    std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      slot& s = slots_[pos & mask_];
+      const std::size_t seq = s.sequence.load(std::memory_order_acquire);
+      const std::intptr_t diff =
+          static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed))
+          break;
+      } else if (diff < 0) {
+        return std::nullopt;  // empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    slot& s = slots_[pos & mask_];
+    T value = std::move(s.value);
+    s.sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return value;
+  }
+
+  // Approximate size (safe to call concurrently; may be stale).
+  std::size_t size_approx() const {
+    const std::size_t enq = enqueue_pos_.load(std::memory_order_relaxed);
+    const std::size_t deq = dequeue_pos_.load(std::memory_order_relaxed);
+    return enq >= deq ? enq - deq : 0;
+  }
+
+  bool empty_approx() const { return size_approx() == 0; }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct slot {
+    std::atomic<std::size_t> sequence{0};
+    T value{};
+  };
+
+  const std::size_t mask_;
+  std::vector<slot> slots_;
+  alignas(cache_line_size) std::atomic<std::size_t> enqueue_pos_{0};
+  alignas(cache_line_size) std::atomic<std::size_t> dequeue_pos_{0};
+};
+
+}  // namespace gran

@@ -1,0 +1,62 @@
+// Bounded lock-free single-producer/single-consumer ring buffer.
+//
+// Used where exactly one thread produces and one consumes (e.g. per-worker
+// deferred-wakeup lanes). Capacity is rounded up to a power of two; one slot
+// is sacrificed to distinguish full from empty.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/cacheline.hpp"
+
+namespace gran {
+
+template <typename T>
+class spsc_ring {
+ public:
+  explicit spsc_ring(std::size_t capacity)
+      : mask_(std::bit_ceil(capacity + 1) - 1), slots_(mask_ + 1) {
+    GRAN_ASSERT(capacity >= 1);
+  }
+
+  spsc_ring(const spsc_ring&) = delete;
+  spsc_ring& operator=(const spsc_ring&) = delete;
+
+  // Producer side. Returns false when full.
+  bool push(T value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) return false;
+    slots_[head] = std::move(value);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Empty optional when no element is available.
+  std::optional<T> pop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return std::nullopt;
+    T value = std::move(slots_[tail]);
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return value;
+  }
+
+  bool empty() const {
+    return tail_.load(std::memory_order_acquire) == head_.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const { return mask_; }
+
+ private:
+  const std::size_t mask_;
+  std::vector<T> slots_;
+  alignas(cache_line_size) std::atomic<std::size_t> head_{0};
+  alignas(cache_line_size) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace gran

@@ -1,0 +1,96 @@
+// Cost models of the paper's four experimental platforms (Table I) for the
+// discrete-event simulator.
+//
+// Calibration anchors, taken from the paper itself (§IV-A and Figs. 3–10):
+//   * Haswell:  td(12,500 points, 1 core) ≈ 21 µs  -> ~1.7 ns per point
+//   * Xeon Phi: td(12,500 points, 1 core) ≈ 1.1 ms -> ~88 ns per point
+//   * Haswell idle-rate ≈ 90 % at partition 160   -> ~2.5 µs management
+//     cost per task (creation + conversion + queue ops + dependencies)
+//   * Xeon Phi idle-rate ≈ 80 % at partition 1e3  -> ~300 µs per task
+//   * Haswell 28-core execution-time floor ≈ 1.7 s at 100 M × 50 steps
+//     -> memory-bandwidth bound: ~16 B/point streamed against ~70 GB/s
+//   * wait time grows with cores and partition size (Fig. 6)
+//     -> per-core effective bandwidth min(bw_core, bw_total/streams)
+//   * wait time negative for partitions ≫ LLC (Figs. 7, 8)
+//     -> the 1-core baseline pays a working-set penalty that parallel
+//        runs avoid (single_core_bias_*)
+// Absolute reproduction is not the goal (paper hardware ≠ simulator);
+// the shapes and crossovers are.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "topo/platform_spec.hpp"
+
+namespace gran::sim {
+
+struct machine_model {
+  platform_spec spec;
+
+  // --- computation ---------------------------------------------------------
+  // Single-stream cost of one grid-point update (includes in-cache memory).
+  double cpu_ns_per_point = 1.7;
+
+  // --- task-management costs, ns per event (single-core baseline) ----------
+  double task_create_ns = 80;     // staged description allocation + enqueue
+  double task_convert_ns = 130;   // staged -> pending (context/stack attach)
+  double queue_op_ns = 30;        // one pending/staged pop or push
+  double task_switch_ns = 60;     // context switch in + out of a task
+  double dependency_ns = 40;      // signalling one dependent future
+  double steal_probe_ns = 80;     // probing another worker's queue
+  double numa_penalty_ns = 200;   // extra when crossing NUMA domains
+
+  // Shared-structure contention: allocator locks, queue cache-line
+  // ping-pong, counter updates. Management events (create/convert/queue/
+  // switch/dependency) cost base * (1 + contention_per_core * (cores - 1)).
+  // This is what makes fine-grain idle-rate *rise with the core count*
+  // (paper Figs. 4, 5) while single-core costs stay calibrated.
+  double contention_per_core = 1.4;
+  double idle_probe_ns = 500;     // one full fruitless work-search round
+  // Idle workers spin for idle_spin_rounds searches per starvation episode,
+  // then park until new work appears (the worker loop's backoff); this
+  // bounds how fast the queue counters grow while starving.
+  int idle_spin_rounds = 24;
+
+  // The benchmark's main thread builds the dataflow tree serially while the
+  // workers execute (one node per partition per step, in step-major order).
+  // A task cannot exist before its node is constructed, which caps the task
+  // supply rate at fine granularity.
+  double construct_node_ns = 1'200;
+
+  // --- memory model ---------------------------------------------------------
+  // Streamed bytes per grid-point update beyond what caches absorb
+  // (read previous partition + write next ≈ 2 × 8 B).
+  double bytes_per_point = 16.0;
+  double bw_total_gbps = 70.0;    // saturating node bandwidth
+  double bw_core_gbps = 12.0;     // single-stream bandwidth
+
+  // --- 1-core working-set penalty (negative-wait-time effect) --------------
+  // Extra ns/point paid by a single core cycling the whole grid through its
+  // cache once partitions exceed cache_anchor_bytes.
+  double single_core_bias_ns = 0.5;
+  double cache_anchor_bytes = 35.0 * 1024 * 1024;
+
+  // Deterministic execution-time jitter amplitude (fraction, e.g. 0.03).
+  double jitter = 0.03;
+
+  // --- derived -------------------------------------------------------------
+  // Execution time (ns) of one partition update of `points` grid points
+  // when `active_streams` tasks execute concurrently machine-wide.
+  double task_exec_ns(std::uint64_t points, int active_streams, int total_cores) const;
+
+  // The 1-core baseline variant, including the working-set penalty.
+  double task_exec_single_core_ns(std::uint64_t points, std::uint64_t total_points) const;
+};
+
+// Factory per paper platform (names: "sandy-bridge", "ivy-bridge",
+// "haswell", "xeon-phi"). Throws std::invalid_argument on unknown names.
+machine_model make_machine_model(const std::string& platform);
+
+machine_model haswell_model();
+machine_model ivy_bridge_model();
+machine_model sandy_bridge_model();
+machine_model xeon_phi_model();
+
+}  // namespace gran::sim

@@ -1,0 +1,52 @@
+// core::experiment_backend over the discrete-event simulator: the figure
+// benches drive exactly the same sweep code whether measuring natively or
+// on a modeled platform.
+#pragma once
+
+#include <string>
+
+#include "core/experiment.hpp"
+#include "sim/des.hpp"
+
+namespace gran::sim {
+
+class sim_backend final : public core::experiment_backend {
+ public:
+  explicit sim_backend(machine_model model, std::uint64_t seed = 1)
+      : model_(std::move(model)), seed_(seed) {}
+
+  // By platform name ("haswell", "xeon-phi", ...).
+  explicit sim_backend(const std::string& platform, std::uint64_t seed = 1)
+      : sim_backend(make_machine_model(platform), seed) {}
+
+  std::string name() const override { return "sim(" + model_.spec.name + ")"; }
+
+  core::run_measurement run(const stencil::params& p, int cores) override {
+    sim_config cfg;
+    cfg.model = model_;
+    cfg.cores = cores;
+    cfg.workload = p;
+    cfg.seed = seed_++;  // fresh jitter per sample, still deterministic
+    cfg.policy = policy_;
+    cfg.workload_kind = workload_kind_;
+    cfg.numa_aware_steal = numa_aware_steal_;
+    return simulate_stencil(cfg).measurement;
+  }
+
+  const machine_model& model() const noexcept { return model_; }
+  machine_model& model() noexcept { return model_; }
+
+  // Ablation knobs (see sim_config).
+  void set_policy(sim_policy p) noexcept { policy_ = p; }
+  void set_numa_aware_steal(bool aware) noexcept { numa_aware_steal_ = aware; }
+  void set_workload(sim_workload w) noexcept { workload_kind_ = w; }
+
+ private:
+  machine_model model_;
+  std::uint64_t seed_;
+  sim_policy policy_ = sim_policy::priority_local;
+  sim_workload workload_kind_ = sim_workload::stencil;
+  bool numa_aware_steal_ = true;
+};
+
+}  // namespace gran::sim

@@ -1,0 +1,40 @@
+// Futurized heat ring on the gran runtime — the reproduction of
+// HPX-Stencil (1d_stencil_4).
+//
+// Each partition is represented by a shared future of an immutable data
+// block. For every time step, every partition's next value is produced by
+// dataflow() over the three closest partitions of the previous step — the
+// dependency graph of paper Fig. 2, generated at runtime as an execution
+// tree. No global barriers exist anywhere: a partition may run several
+// steps ahead of a distant one as long as its own neighbours are done.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "async/gran.hpp"
+#include "stencil/params.hpp"
+
+namespace gran::stencil {
+
+// Immutable partition payload; shared futures hand out references, so the
+// block itself is never copied between tasks.
+using partition_data = std::shared_ptr<const std::vector<double>>;
+
+struct run_result {
+  std::vector<double> state;   // final grid (concatenated partitions)
+  double elapsed_s = 0.0;      // wall time of the futurized section
+};
+
+// Runs p.time_steps of the futurized stencil on `tm`. The measured section
+// covers task creation through completion of every partition (matching the
+// paper's execution-time metric).
+run_result run_futurized(thread_manager& tm, const params& p);
+
+// One partition update: produces the next values of the `mid` partition
+// from its ring neighbours (exposed for unit tests).
+std::vector<double> partition_step(const params& p, const std::vector<double>& left,
+                                   const std::vector<double>& mid,
+                                   const std::vector<double>& right);
+
+}  // namespace gran::stencil

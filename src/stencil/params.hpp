@@ -1,0 +1,59 @@
+// Parameters of the 1-D heat-diffusion benchmark (HPX-Stencil /
+// 1d_stencil_4, paper §I-C).
+//
+// The ring of `total_points` grid points is split into partitions of
+// `partition_size` points; each partition's update for one time step is one
+// task. Varying partition_size at fixed total_points is how the paper
+// controls task granularity: small partitions => many fine-grained tasks,
+// large partitions => few coarse-grained tasks.
+#pragma once
+
+#include <cstddef>
+
+#include "util/assert.hpp"
+
+namespace gran::stencil {
+
+struct params {
+  std::size_t total_points = 1'000'000;  // grid points in the ring
+  std::size_t partition_size = 10'000;   // grid points per partition
+  std::size_t time_steps = 50;           // diffusion steps to compute
+
+  // Bounds how many time steps of dataflow nodes may exist concurrently
+  // during the futurized run (0 = unbounded, like HPX's 1d_stencil_4).
+  // At paper scale with fine partitions the full tree is tens of millions
+  // of nodes; a window of a few steps caps memory at O(window · partitions)
+  // while leaving enough lookahead for the wavefront to pipeline.
+  std::size_t max_steps_in_flight = 0;
+
+  // Physics constants (HPX's 1d_stencil defaults).
+  double k = 0.5;   // heat-transfer coefficient
+  double dt = 1.0;  // time-step width
+  double dx = 1.0;  // grid spacing
+
+  std::size_t num_partitions() const {
+    GRAN_ASSERT_MSG(partition_size >= 1 && total_points >= partition_size,
+                    "partition size must divide a positive grid");
+    return total_points / partition_size;
+  }
+
+  // Clamps partition_size so it divides total_points exactly (the paper
+  // adjusts the partition count to keep the grid size fixed).
+  void normalize() {
+    if (partition_size < 1) partition_size = 1;
+    if (partition_size > total_points) partition_size = total_points;
+    while (total_points % partition_size != 0) --partition_size;
+  }
+
+  // Single-point update (identical in the serial reference, the futurized
+  // runtime version, and as the simulator's per-point cost anchor):
+  //   u'_m = u_m + k*dt/dx^2 * (u_l - 2 u_m + u_r)
+  double heat(double left, double middle, double right) const {
+    return middle + (k * dt / (dx * dx)) * (left - 2.0 * middle + right);
+  }
+
+  // Number of tasks the futurized run creates: one per partition per step.
+  std::size_t num_tasks() const { return num_partitions() * time_steps; }
+};
+
+}  // namespace gran::stencil

@@ -1,0 +1,32 @@
+#include "stencil/serial.hpp"
+
+namespace gran::stencil {
+
+std::vector<double> initial_state(const params& p) {
+  std::vector<double> u(p.total_points);
+  for (std::size_t i = 0; i < u.size(); ++i) u[i] = static_cast<double>(i);
+  return u;
+}
+
+void step_serial(const params& p, const std::vector<double>& current,
+                 std::vector<double>& next) {
+  const std::size_t n = current.size();
+  GRAN_ASSERT(next.size() == n && n >= 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double left = current[i == 0 ? n - 1 : i - 1];
+    const double right = current[i == n - 1 ? 0 : i + 1];
+    next[i] = p.heat(left, current[i], right);
+  }
+}
+
+std::vector<double> run_serial(const params& p) {
+  std::vector<double> current = initial_state(p);
+  std::vector<double> next(current.size());
+  for (std::size_t t = 0; t < p.time_steps; ++t) {
+    step_serial(p, current, next);
+    current.swap(next);
+  }
+  return current;
+}
+
+}  // namespace gran::stencil

@@ -1,0 +1,23 @@
+// Serial reference implementation of the heat ring — the correctness oracle
+// for the futurized version (bit-identical results) and the single-stream
+// cost anchor for simulator calibration.
+#pragma once
+
+#include <vector>
+
+#include "stencil/params.hpp"
+
+namespace gran::stencil {
+
+// Initial condition: u_i = i (HPX 1d_stencil's choice — any non-constant
+// profile works; this one makes indexing errors visible).
+std::vector<double> initial_state(const params& p);
+
+// Advances `state` by p.time_steps steps of the 3-point kernel on a ring.
+std::vector<double> run_serial(const params& p);
+
+// One step over a full ring (exposed for tests).
+void step_serial(const params& p, const std::vector<double>& current,
+                 std::vector<double>& next);
+
+}  // namespace gran::stencil

@@ -1,0 +1,37 @@
+// Cooperative condition variable for gran::mutex. Waiting tasks suspend;
+// waiting external threads park. The usual spurious-wakeup contract applies:
+// always wait under a predicate loop (the predicate overloads do).
+#pragma once
+
+#include <mutex>
+
+#include "sync/mutex.hpp"
+#include "sync/spinlock.hpp"
+#include "sync/wait_queue.hpp"
+
+namespace gran {
+
+class condition_variable {
+ public:
+  condition_variable() = default;
+  condition_variable(const condition_variable&) = delete;
+  condition_variable& operator=(const condition_variable&) = delete;
+
+  // `lock` must be held; released while waiting and re-acquired before
+  // returning.
+  void wait(std::unique_lock<mutex>& lock);
+
+  template <typename Predicate>
+  void wait(std::unique_lock<mutex>& lock, Predicate pred) {
+    while (!pred()) wait(lock);
+  }
+
+  void notify_one();
+  void notify_all();
+
+ private:
+  spinlock guard_;
+  wait_queue waiters_;
+};
+
+}  // namespace gran

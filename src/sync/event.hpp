@@ -1,0 +1,33 @@
+// Manual-reset event: one-shot "it happened" flag with cooperative waiting.
+// Lighter than a future<void> when no value/exception needs to travel.
+#pragma once
+
+#include "sync/spinlock.hpp"
+#include "sync/wait_queue.hpp"
+
+namespace gran {
+
+class event {
+ public:
+  event() = default;
+  event(const event&) = delete;
+  event& operator=(const event&) = delete;
+
+  // Sets the flag and releases all current and future waiters.
+  void set();
+
+  // Clears the flag (subsequent wait()s block again).
+  void reset();
+
+  bool is_set() const;
+
+  // Blocks until the flag is set.
+  void wait() const;
+
+ private:
+  mutable spinlock guard_;
+  mutable wait_queue waiters_;
+  bool set_ = false;
+};
+
+}  // namespace gran

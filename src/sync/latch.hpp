@@ -1,0 +1,35 @@
+// Single-use countdown latch (std::latch semantics, cooperative blocking).
+// The workhorse of fork-join sections in the examples and tests: spawn N
+// tasks, each count_down()s, the parent wait()s.
+#pragma once
+
+#include <cstdint>
+
+#include "sync/spinlock.hpp"
+#include "sync/wait_queue.hpp"
+
+namespace gran {
+
+class latch {
+ public:
+  explicit latch(std::int64_t expected);
+  latch(const latch&) = delete;
+  latch& operator=(const latch&) = delete;
+
+  // Decrements by n; releases all waiters when the count reaches zero.
+  void count_down(std::int64_t n = 1);
+
+  bool try_wait() const;
+
+  // Blocks until the count reaches zero.
+  void wait() const;
+
+  void arrive_and_wait(std::int64_t n = 1);
+
+ private:
+  mutable spinlock guard_;
+  mutable wait_queue waiters_;
+  std::int64_t count_;
+};
+
+}  // namespace gran

@@ -1,0 +1,31 @@
+// Cooperative mutex: a blocked *task* suspends (its worker keeps executing
+// other tasks); a blocked external thread parks on a condition variable.
+// Ending a thread-phase on contention instead of spinning is the core of
+// the paper's lightweight-synchronization story.
+//
+// Satisfies the C++ Lockable requirements, so std::unique_lock /
+// std::lock_guard work.
+#pragma once
+
+#include "sync/spinlock.hpp"
+#include "sync/wait_queue.hpp"
+
+namespace gran {
+
+class mutex {
+ public:
+  mutex() = default;
+  mutex(const mutex&) = delete;
+  mutex& operator=(const mutex&) = delete;
+
+  void lock();
+  bool try_lock();
+  void unlock();
+
+ private:
+  spinlock guard_;
+  wait_queue waiters_;
+  bool locked_ = false;
+};
+
+}  // namespace gran

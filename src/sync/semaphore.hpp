@@ -1,0 +1,41 @@
+// Cooperative counting semaphore (std::counting_semaphore semantics).
+// Used by the examples to throttle in-flight work and by tests as a
+// building block for producer/consumer scenarios.
+#pragma once
+
+#include <cstdint>
+
+#include "sync/spinlock.hpp"
+#include "sync/wait_queue.hpp"
+
+namespace gran {
+
+class counting_semaphore {
+ public:
+  explicit counting_semaphore(std::int64_t initial);
+  counting_semaphore(const counting_semaphore&) = delete;
+  counting_semaphore& operator=(const counting_semaphore&) = delete;
+
+  // Increments the count by n, waking up to n waiters.
+  void release(std::int64_t n = 1);
+
+  // Decrements the count, blocking while it is zero.
+  void acquire();
+
+  bool try_acquire();
+
+  std::int64_t value() const;
+
+ private:
+  mutable spinlock guard_;
+  wait_queue waiters_;
+  std::int64_t count_;
+};
+
+// Binary convenience alias.
+class binary_semaphore : public counting_semaphore {
+ public:
+  explicit binary_semaphore(std::int64_t initial = 0) : counting_semaphore(initial) {}
+};
+
+}  // namespace gran

@@ -1,0 +1,37 @@
+// Test-and-test-and-set spinlock with exponential backoff. Protects the
+// short critical sections inside synchronization primitives and future
+// shared states. Never held across a task suspension.
+#pragma once
+
+#include <atomic>
+
+#include "util/backoff.hpp"
+
+namespace gran {
+
+class spinlock {
+ public:
+  spinlock() = default;
+  spinlock(const spinlock&) = delete;
+  spinlock& operator=(const spinlock&) = delete;
+
+  void lock() noexcept {
+    backoff bo;
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      while (locked_.load(std::memory_order_relaxed)) bo.pause();
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+}  // namespace gran

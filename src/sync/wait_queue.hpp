@@ -1,0 +1,148 @@
+// Waiter bookkeeping shared by all blocking primitives.
+//
+// A waiter is either a task (suspended cooperatively — the worker keeps
+// running other tasks, paper §I-B) or an external OS thread (parked on a
+// condition variable). The owning primitive serializes access with its own
+// spinlock; wait_queue itself is not thread-safe.
+//
+// Task-wait protocol (race-free with task::wake, see task.hpp):
+//     this_task::prepare_suspend();
+//     lock primitive;
+//     if (condition already satisfied) { unlock; this_task::cancel_suspend(); }
+//     else { wq.add_task(current); unlock; this_task::commit_suspend(); }
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "threads/thread_manager.hpp"
+
+namespace gran {
+
+// Stack-allocated parking slot for a non-worker thread.
+class external_waiter {
+ public:
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return notified_; });
+  }
+
+  // Returns true if notified, false on timeout.
+  template <typename Clock, typename Duration>
+  bool wait_until(std::chrono::time_point<Clock, Duration> deadline) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return cv_.wait_until(lock, deadline, [this] { return notified_; });
+  }
+
+  void notify() {
+    // Notify *while holding* the mutex: the waiter cannot return from
+    // wait() (and destroy this object) until we release it, so cv_ stays
+    // valid for the notify call.
+    std::lock_guard<std::mutex> lock(mutex_);
+    notified_ = true;
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool notified_ = false;
+};
+
+class wait_queue {
+ public:
+  bool empty() const noexcept { return waiters_.empty(); }
+  std::size_t size() const noexcept { return waiters_.size(); }
+
+  void add_task(task* t) { waiters_.push_back(entry{t, nullptr}); }
+  void add_external(external_waiter* w) { waiters_.push_back(entry{nullptr, w}); }
+
+  // Removes a specific waiter (timeout/interrupt paths). Returns false when
+  // it had already been removed by a notifier.
+  bool remove(const task* t) {
+    for (auto it = waiters_.begin(); it != waiters_.end(); ++it)
+      if (it->t == t) {
+        waiters_.erase(it);
+        return true;
+      }
+    return false;
+  }
+
+  bool remove_external(const external_waiter* w) {
+    for (auto it = waiters_.begin(); it != waiters_.end(); ++it)
+      if (it->ext == w) {
+        waiters_.erase(it);
+        return true;
+      }
+    return false;
+  }
+
+  // Wakes the oldest waiter. Returns false when the queue was empty.
+  //
+  // DESTRUCTION-RACE WARNING: a released waiter may immediately destroy the
+  // primitive that owns this queue. Only call notify_* with the owner's
+  // lock held when the owner is guaranteed to outlive the wake (e.g. a
+  // shared_state kept alive by the caller's shared_ptr). Otherwise use
+  // detach_one()/detach_all() under the lock and dispatch_all() after
+  // releasing it.
+  bool notify_one() {
+    if (waiters_.empty()) return false;
+    const entry e = waiters_.front();
+    waiters_.pop_front();
+    dispatch(e);
+    return true;
+  }
+
+  void notify_all() {
+    while (notify_one()) {
+    }
+  }
+
+  // Moves out up to `n` waiters (all by default) for dispatch outside the
+  // owner's critical section.
+  wait_queue detach_all() {
+    wait_queue q;
+    q.waiters_.swap(waiters_);
+    return q;
+  }
+
+  wait_queue detach(std::size_t n) {
+    wait_queue q;
+    while (n-- > 0 && !waiters_.empty()) {
+      q.waiters_.push_back(waiters_.front());
+      waiters_.pop_front();
+    }
+    return q;
+  }
+
+  // Wakes everything previously detached. The queue being dispatched is a
+  // local copy, so no lock is needed.
+  void dispatch_all() {
+    for (const entry& e : waiters_) dispatch(e);
+    waiters_.clear();
+  }
+
+ private:
+  struct entry {
+    task* t;
+    external_waiter* ext;
+  };
+
+  static void dispatch(const entry& e) {
+    if (e.t != nullptr) {
+      // Route through the task's owning manager so wakes work from any
+      // thread — another task's worker or a plain OS thread.
+      thread_manager* tm = e.t->owner();
+      GRAN_ASSERT_MSG(tm != nullptr, "waking a task with no owning manager");
+      tm->wake(e.t);
+    } else {
+      e.ext->notify();
+    }
+  }
+
+  std::deque<entry> waiters_;
+};
+
+}  // namespace gran

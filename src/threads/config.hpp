@@ -1,0 +1,45 @@
+// Thread-manager configuration. Mirrors the knobs the paper describes: the
+// thread manager "is parameterized with the number of resources it can use,
+// the number of OS threads mapped to its allocated resources, and its
+// resource allocation policy (NUMA awareness)".
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace gran {
+
+struct scheduler_config {
+  // Worker OS threads. 0 = one per logical CPU of the host topology.
+  int num_workers = 0;
+
+  // Overrides the number of NUMA domains the workers are spread over.
+  // 0 = derive from the host topology.
+  int numa_domains = 0;
+
+  // Scheduling policy: "priority-local-fifo" (the paper's), "static-fifo"
+  // (no stealing), or "work-stealing-lifo" (Cilk-style ablation).
+  std::string policy = "priority-local-fifo";
+
+  // Number of high-priority dual queues (owned by the first N workers).
+  // 0 = one per worker.
+  int high_priority_queues = 0;
+
+  // Pin worker i to logical CPU i (disabled automatically when the host has
+  // fewer CPUs than workers, e.g. oversubscribed test runs).
+  bool pin_workers = true;
+
+  // Capacity of each queue's lock-free ring before spilling to the
+  // mutex-protected overflow stage.
+  std::size_t queue_ring_capacity = 4096;
+
+  // Spins before an idle worker starts OS-yielding.
+  unsigned idle_spin_limit = 64;
+  // Consecutive fruitless probes before an idle worker briefly sleeps.
+  unsigned idle_yield_limit = 256;
+
+  // Fiber stack size in bytes; 0 = stack_pool::default_stack_size().
+  std::size_t stack_size = 0;
+};
+
+}  // namespace gran

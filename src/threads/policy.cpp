@@ -1,0 +1,19 @@
+#include "threads/policy.hpp"
+
+#include <stdexcept>
+
+#include "threads/policy_priority_local.hpp"
+#include "threads/policy_static.hpp"
+#include "threads/policy_work_stealing.hpp"
+
+namespace gran {
+
+std::unique_ptr<scheduling_policy> make_policy(const std::string& name) {
+  if (name == "priority-local-fifo" || name.empty())
+    return std::make_unique<priority_local_policy>();
+  if (name == "static-fifo") return std::make_unique<static_fifo_policy>();
+  if (name == "work-stealing-lifo") return std::make_unique<work_stealing_policy>();
+  throw std::invalid_argument("unknown scheduling policy: " + name);
+}
+
+}  // namespace gran

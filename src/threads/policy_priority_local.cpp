@@ -1,0 +1,172 @@
+#include "threads/policy_priority_local.hpp"
+
+#include "threads/thread_manager.hpp"
+#include "util/assert.hpp"
+
+namespace gran {
+
+void priority_local_policy::init(thread_manager& tm) {
+  high_queue_owners_ = 0;
+  for (int w = 0; w < tm.num_workers(); ++w)
+    if (tm.worker(w).owns_high_queue) ++high_queue_owners_;
+  GRAN_ASSERT(high_queue_owners_ >= 1);
+}
+
+void priority_local_policy::enqueue_new(thread_manager& tm, int home, task* t) {
+  switch (t->priority()) {
+    case task_priority::high: {
+      // Round-robin over the high-priority queue owners.
+      const int target = static_cast<int>(
+          rr_high_.fetch_add(1, std::memory_order_relaxed) %
+          static_cast<std::uint64_t>(high_queue_owners_));
+      tm.worker(target).high_queue.push_staged(t);
+      return;
+    }
+    case task_priority::low:
+      tm.low_priority_queue().push_staged(t);
+      return;
+    case task_priority::normal:
+      break;
+  }
+  // Normal priority: stage on the spawning worker; external spawns are
+  // distributed round-robin.
+  const int target =
+      home >= 0 ? home
+                : static_cast<int>(rr_normal_.fetch_add(1, std::memory_order_relaxed) %
+                                   static_cast<std::uint64_t>(tm.num_workers()));
+  tm.worker(target).queue.push_staged(t);
+}
+
+void priority_local_policy::enqueue_ready(thread_manager& tm, int home, task* t) {
+  if (t->priority() == task_priority::low) {
+    tm.low_priority_queue().push_pending(t);
+    return;
+  }
+  // Prefer the enqueuing worker, then the worker the task last ran on
+  // (cache affinity), then round-robin.
+  int target = home;
+  if (target < 0) target = t->last_worker();
+  if (target < 0)
+    target = static_cast<int>(rr_normal_.fetch_add(1, std::memory_order_relaxed) %
+                              static_cast<std::uint64_t>(tm.num_workers()));
+  worker_data& wd = tm.worker(target);
+  if (t->priority() == task_priority::high && wd.owns_high_queue)
+    wd.high_queue.push_pending(t);
+  else
+    wd.queue.push_pending(t);
+}
+
+task* priority_local_policy::get_next(thread_manager& tm, int w) {
+  worker_data& me = tm.worker(w);
+
+  // 1. Local pending (high-priority queue first).
+  if (me.owns_high_queue)
+    if (auto t = me.high_queue.pop_pending()) return *t;
+  if (auto t = me.queue.pop_pending()) return *t;
+
+  // 2. Local staged: convert to pending, then take from the pending queue
+  // (the staged->pending->run round trip is what the paper's queue counters
+  // observe in HPX).
+  if (me.owns_high_queue) {
+    if (auto d = me.high_queue.pop_staged()) {
+      tm.convert(*d);
+      me.high_queue.push_pending(*d);
+      if (auto t = me.high_queue.pop_pending()) return *t;
+      return nullptr;  // converted work was snatched; retry outer loop
+    }
+  }
+  if (auto d = me.queue.pop_staged()) {
+    tm.convert(*d);
+    me.queue.push_pending(*d);
+    if (auto t = me.queue.pop_pending()) return *t;
+    return nullptr;
+  }
+
+  // 3./4. Same NUMA domain: staged first, then pending.
+  if (task* t = steal_staged_from_node(tm, w, me.numa_node)) return t;
+  if (task* t = steal_pending_from_node(tm, w, me.numa_node)) return t;
+
+  // 5./6. Remote NUMA domains.
+  for (int node = 0; node < tm.num_numa_domains(); ++node) {
+    if (node == me.numa_node) continue;
+    if (task* t = steal_staged_from_node(tm, w, node)) return t;
+  }
+  for (int node = 0; node < tm.num_numa_domains(); ++node) {
+    if (node == me.numa_node) continue;
+    if (task* t = steal_pending_from_node(tm, w, node)) return t;
+  }
+
+  // 7. Low-priority work only when everything else is exhausted.
+  if (auto t = tm.low_priority_queue().pop_pending()) return *t;
+  if (auto d = tm.low_priority_queue().pop_staged()) {
+    tm.convert(*d);
+    return *d;
+  }
+  return nullptr;
+}
+
+task* priority_local_policy::steal_staged_from_node(thread_manager& tm, int w, int node) {
+  const auto& members = tm.workers_of_node(node);
+  const std::size_t n = members.size();
+  if (n == 0) return nullptr;
+  // Ring order starting just after `w`'s position (or 0 for remote nodes).
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (members[i] == w) {
+      start = i + 1;
+      break;
+    }
+  worker_data& me = tm.worker(w);
+  for (std::size_t k = 0; k < n; ++k) {
+    const int v = members[(start + k) % n];
+    if (v == w) continue;
+    worker_data& victim = tm.worker(v);
+    std::optional<task*> d;
+    if (victim.owns_high_queue) d = victim.high_queue.pop_staged();
+    if (!d) d = victim.queue.pop_staged();
+    if (d) {
+      tm.convert(*d);
+      me.counters.tasks_stolen.fetch_add(1, std::memory_order_relaxed);
+      me.queue.push_pending(*d);
+      if (auto t = me.queue.pop_pending()) return *t;
+      return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+task* priority_local_policy::steal_pending_from_node(thread_manager& tm, int w, int node) {
+  const auto& members = tm.workers_of_node(node);
+  const std::size_t n = members.size();
+  if (n == 0) return nullptr;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (members[i] == w) {
+      start = i + 1;
+      break;
+    }
+  worker_data& me = tm.worker(w);
+  for (std::size_t k = 0; k < n; ++k) {
+    const int v = members[(start + k) % n];
+    if (v == w) continue;
+    worker_data& victim = tm.worker(v);
+    std::optional<task*> t;
+    if (victim.owns_high_queue) t = victim.high_queue.pop_pending();
+    if (!t) t = victim.queue.pop_pending();
+    if (t) {
+      me.counters.tasks_stolen.fetch_add(1, std::memory_order_relaxed);
+      return *t;
+    }
+  }
+  return nullptr;
+}
+
+bool priority_local_policy::queues_empty(const thread_manager& tm) const {
+  for (int w = 0; w < tm.num_workers(); ++w) {
+    const worker_data& wd = tm.worker(w);
+    if (!wd.queue.empty_approx() || !wd.high_queue.empty_approx()) return false;
+  }
+  return tm.low_priority_queue().empty_approx();
+}
+
+}  // namespace gran

@@ -1,0 +1,49 @@
+// The Priority Local-FIFO scheduling policy — the scheduler all of the
+// paper's measurements use (§I-B, Fig. 1).
+//
+// Queue layout: one dual (staged+pending) FIFO queue per worker, a
+// configurable number of high-priority dual queues owned by the first
+// workers, and one global low-priority queue drained only when every other
+// source is empty.
+//
+// Work-search order for a worker (Fig. 1):
+//   1. local pending queue
+//   2. local staged queue  (convert -> local pending)
+//   3. staged queues of other workers in the same NUMA domain
+//   4. pending queues of other workers in the same NUMA domain
+//   5. staged queues of workers in remote NUMA domains
+//   6. pending queues of workers in remote NUMA domains
+// Stolen staged descriptions are converted and placed into the thief's own
+// pending queue — staged threads are cheap to migrate because they have no
+// context yet.
+#pragma once
+
+#include <atomic>
+
+#include "threads/policy.hpp"
+
+namespace gran {
+
+class priority_local_policy final : public scheduling_policy {
+ public:
+  const char* name() const noexcept override { return "priority-local-fifo"; }
+  void init(thread_manager& tm) override;
+  void enqueue_new(thread_manager& tm, int home, task* t) override;
+  void enqueue_ready(thread_manager& tm, int home, task* t) override;
+  task* get_next(thread_manager& tm, int w) override;
+  bool queues_empty(const thread_manager& tm) const override;
+
+ private:
+  // Steals one staged description from the workers of `node` (ring order
+  // after `w`), converting into `w`'s pending queue. Returns a runnable
+  // task or nullptr.
+  task* steal_staged_from_node(thread_manager& tm, int w, int node);
+  // Steals one ready task from the pending queues of `node`.
+  task* steal_pending_from_node(thread_manager& tm, int w, int node);
+
+  std::atomic<std::uint64_t> rr_normal_{0};
+  std::atomic<std::uint64_t> rr_high_{0};
+  int high_queue_owners_ = 0;
+};
+
+}  // namespace gran

@@ -1,0 +1,77 @@
+#include "threads/policy_static.hpp"
+
+#include "threads/thread_manager.hpp"
+
+namespace gran {
+
+void static_fifo_policy::init(thread_manager&) {}
+
+void static_fifo_policy::enqueue_new(thread_manager& tm, int /*home*/, task* t) {
+  if (t->priority() == task_priority::low) {
+    tm.low_priority_queue().push_staged(t);
+    return;
+  }
+  // Always round-robin: static placement spreads work without regard to the
+  // spawner, which is the policy's only load-balancing mechanism.
+  const int target = static_cast<int>(rr_.fetch_add(1, std::memory_order_relaxed) %
+                                      static_cast<std::uint64_t>(tm.num_workers()));
+  worker_data& wd = tm.worker(target);
+  if (t->priority() == task_priority::high && wd.owns_high_queue)
+    wd.high_queue.push_staged(t);
+  else
+    wd.queue.push_staged(t);
+}
+
+void static_fifo_policy::enqueue_ready(thread_manager& tm, int home, task* t) {
+  if (t->priority() == task_priority::low) {
+    tm.low_priority_queue().push_pending(t);
+    return;
+  }
+  int target = t->last_worker();
+  if (target < 0) target = home;
+  if (target < 0)
+    target = static_cast<int>(rr_.fetch_add(1, std::memory_order_relaxed) %
+                              static_cast<std::uint64_t>(tm.num_workers()));
+  worker_data& wd = tm.worker(target);
+  if (t->priority() == task_priority::high && wd.owns_high_queue)
+    wd.high_queue.push_pending(t);
+  else
+    wd.queue.push_pending(t);
+}
+
+task* static_fifo_policy::get_next(thread_manager& tm, int w) {
+  worker_data& me = tm.worker(w);
+  if (me.owns_high_queue)
+    if (auto t = me.high_queue.pop_pending()) return *t;
+  if (auto t = me.queue.pop_pending()) return *t;
+  if (me.owns_high_queue) {
+    if (auto d = me.high_queue.pop_staged()) {
+      tm.convert(*d);
+      me.high_queue.push_pending(*d);
+      if (auto t = me.high_queue.pop_pending()) return *t;
+      return nullptr;
+    }
+  }
+  if (auto d = me.queue.pop_staged()) {
+    tm.convert(*d);
+    me.queue.push_pending(*d);
+    if (auto t = me.queue.pop_pending()) return *t;
+    return nullptr;
+  }
+  if (auto t = tm.low_priority_queue().pop_pending()) return *t;
+  if (auto d = tm.low_priority_queue().pop_staged()) {
+    tm.convert(*d);
+    return *d;
+  }
+  return nullptr;
+}
+
+bool static_fifo_policy::queues_empty(const thread_manager& tm) const {
+  for (int w = 0; w < tm.num_workers(); ++w) {
+    const worker_data& wd = tm.worker(w);
+    if (!wd.queue.empty_approx() || !wd.high_queue.empty_approx()) return false;
+  }
+  return tm.low_priority_queue().empty_approx();
+}
+
+}  // namespace gran

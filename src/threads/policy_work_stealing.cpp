@@ -1,0 +1,98 @@
+#include "threads/policy_work_stealing.hpp"
+
+#include "threads/thread_manager.hpp"
+
+namespace gran {
+
+void work_stealing_policy::init(thread_manager& tm) {
+  deques_.clear();
+  deques_.reserve(static_cast<std::size_t>(tm.num_workers()));
+  for (int w = 0; w < tm.num_workers(); ++w)
+    deques_.push_back(std::make_unique<deque_slot>());
+}
+
+void work_stealing_policy::push(thread_manager& tm, int target, task* t, bool back) {
+  // This policy has no staged stage: attach the context right away.
+  if (!t->has_context()) tm.convert(t);
+  deque_slot& d = *deques_[static_cast<std::size_t>(target)];
+  std::lock_guard<std::mutex> lock(d.mutex);
+  if (back)
+    d.items.push_back(t);
+  else
+    d.items.push_front(t);
+}
+
+void work_stealing_policy::enqueue_new(thread_manager& tm, int home, task* t) {
+  const int target =
+      home >= 0 ? home
+                : static_cast<int>(rr_.fetch_add(1, std::memory_order_relaxed) %
+                                   static_cast<std::uint64_t>(tm.num_workers()));
+  push(tm, target, t, /*back=*/true);
+}
+
+void work_stealing_policy::enqueue_ready(thread_manager& tm, int home, task* t) {
+  int target = home;
+  if (target < 0) target = t->last_worker();
+  if (target < 0)
+    target = static_cast<int>(rr_.fetch_add(1, std::memory_order_relaxed) %
+                              static_cast<std::uint64_t>(tm.num_workers()));
+  push(tm, target, t, /*back=*/true);
+}
+
+task* work_stealing_policy::pop_back(int w) {
+  deque_slot& d = *deques_[static_cast<std::size_t>(w)];
+  std::lock_guard<std::mutex> lock(d.mutex);
+  if (d.items.empty()) return nullptr;
+  task* t = d.items.back();
+  d.items.pop_back();
+  return t;
+}
+
+task* work_stealing_policy::steal_front(int victim) {
+  deque_slot& d = *deques_[static_cast<std::size_t>(victim)];
+  std::lock_guard<std::mutex> lock(d.mutex);
+  if (d.items.empty()) return nullptr;
+  task* t = d.items.front();
+  d.items.pop_front();
+  return t;
+}
+
+task* work_stealing_policy::get_next(thread_manager& tm, int w) {
+  worker_counters& c = tm.worker(w).counters;
+
+  // Owner side: LIFO pop. Counted as a pending-queue access so the paper's
+  // queue metrics remain comparable across policies.
+  c.extra_pending_accesses.fetch_add(1, std::memory_order_relaxed);
+  if (task* t = pop_back(w)) return t;
+  c.extra_pending_misses.fetch_add(1, std::memory_order_relaxed);
+
+  // Thief side: ring order over all other workers.
+  const int n = tm.num_workers();
+  for (int k = 1; k < n; ++k) {
+    const int victim = (w + k) % n;
+    c.extra_pending_accesses.fetch_add(1, std::memory_order_relaxed);
+    if (task* t = steal_front(victim)) {
+      c.tasks_stolen.fetch_add(1, std::memory_order_relaxed);
+      return t;
+    }
+    c.extra_pending_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Low-priority work last, as in every policy.
+  if (auto t = tm.low_priority_queue().pop_pending()) return *t;
+  if (auto d = tm.low_priority_queue().pop_staged()) {
+    tm.convert(*d);
+    return *d;
+  }
+  return nullptr;
+}
+
+bool work_stealing_policy::queues_empty(const thread_manager& tm) const {
+  for (const auto& d : deques_) {
+    std::lock_guard<std::mutex> lock(d->mutex);
+    if (!d->items.empty()) return false;
+  }
+  return tm.low_priority_queue().empty_approx();
+}
+
+}  // namespace gran

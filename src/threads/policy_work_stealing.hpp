@@ -1,0 +1,46 @@
+// Work-stealing-LIFO policy (Cilk-style): each worker owns a deque; the
+// owner pushes and pops at the back (LIFO — depth-first, cache-friendly),
+// thieves steal from the front (FIFO — breadth-first, big chunks of work).
+//
+// Differences from the paper's priority-local-FIFO, on purpose:
+//   * no staged stage — tasks receive their context at spawn time, so the
+//     creation cost is paid by the spawner instead of the first scheduler;
+//   * no NUMA-ordered search — victims are probed in ring order.
+// This is the contrast case for bench/ablation_scheduler ("different
+// schedulers optimize performance for different task size", paper §I-A).
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "threads/policy.hpp"
+#include "util/cacheline.hpp"
+
+namespace gran {
+
+class work_stealing_policy final : public scheduling_policy {
+ public:
+  const char* name() const noexcept override { return "work-stealing-lifo"; }
+  void init(thread_manager& tm) override;
+  void enqueue_new(thread_manager& tm, int home, task* t) override;
+  void enqueue_ready(thread_manager& tm, int home, task* t) override;
+  task* get_next(thread_manager& tm, int w) override;
+  bool queues_empty(const thread_manager& tm) const override;
+
+ private:
+  struct alignas(cache_line_size) deque_slot {
+    mutable std::mutex mutex;
+    std::deque<task*> items;
+  };
+
+  void push(thread_manager& tm, int target, task* t, bool back);
+  task* pop_back(int w);
+  task* steal_front(int victim);
+
+  std::vector<std::unique_ptr<deque_slot>> deques_;
+  std::atomic<std::uint64_t> rr_{0};
+};
+
+}  // namespace gran

@@ -1,0 +1,21 @@
+// Task priorities of the Priority Local scheduler (paper §I-B): a specified
+// number of high-priority dual queues, one normal dual queue per worker, and
+// a single low-priority queue scheduled only when all other work is done.
+#pragma once
+
+#include <cstdint>
+
+namespace gran {
+
+enum class task_priority : std::uint8_t { low = 0, normal = 1, high = 2 };
+
+inline const char* to_string(task_priority p) noexcept {
+  switch (p) {
+    case task_priority::low: return "low";
+    case task_priority::normal: return "normal";
+    case task_priority::high: return "high";
+  }
+  return "?";
+}
+
+}  // namespace gran

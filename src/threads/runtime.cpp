@@ -1,0 +1,30 @@
+#include "threads/runtime.hpp"
+
+#include <atomic>
+
+#include "threads/thread_manager.hpp"
+#include "util/assert.hpp"
+
+namespace gran {
+
+namespace {
+std::atomic<thread_manager*> g_default_manager{nullptr};
+}
+
+void set_default_manager(thread_manager* tm) noexcept {
+  g_default_manager.store(tm, std::memory_order_release);
+}
+
+thread_manager* default_manager() noexcept {
+  return g_default_manager.load(std::memory_order_acquire);
+}
+
+thread_manager& resolve_manager() {
+  if (thread_manager* tm = thread_manager::current()) return *tm;
+  thread_manager* tm = default_manager();
+  GRAN_ASSERT_MSG(tm != nullptr,
+                  "no thread_manager alive: construct one before using async APIs");
+  return *tm;
+}
+
+}  // namespace gran

@@ -1,0 +1,22 @@
+// Process-global default thread manager.
+//
+// async(), dataflow() and future continuations need a manager to spawn
+// tasks on when called from outside any worker (e.g. from main). The first
+// thread_manager constructed installs itself as the default; API helpers
+// resolve the manager as: current worker's manager, else the default.
+#pragma once
+
+namespace gran {
+
+class thread_manager;
+
+// Installed/cleared by thread_manager's constructor/destructor; may also be
+// pointed at a specific manager explicitly when several coexist.
+void set_default_manager(thread_manager* tm) noexcept;
+thread_manager* default_manager() noexcept;
+
+// current() worker's manager if any, else the default. Asserts that one
+// exists.
+thread_manager& resolve_manager();
+
+}  // namespace gran

@@ -1,0 +1,451 @@
+#include "threads/thread_manager.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <iostream>
+
+#include "perf/report.hpp"
+#include "threads/runtime.hpp"
+#include "topo/affinity.hpp"
+#include "util/env.hpp"
+#include "topo/topology.hpp"
+#include "util/assert.hpp"
+#include "util/backoff.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace gran {
+
+namespace {
+
+// Worker identity of the calling OS thread.
+thread_local thread_manager* tl_manager = nullptr;
+thread_local int tl_worker = -1;
+thread_local task* tl_task = nullptr;
+
+}  // namespace
+
+thread_manager::thread_manager(scheduler_config cfg)
+    : cfg_(std::move(cfg)),
+      low_queue_(cfg_.queue_ring_capacity),
+      stacks_(cfg_.stack_size ? cfg_.stack_size : stack_pool::default_stack_size()) {
+  const topology& topo = topology::host();
+
+  // Worker count: explicit config > GRAN_WORKERS env > one per logical CPU.
+  int workers = cfg_.num_workers;
+  if (workers <= 0)
+    workers = static_cast<int>(env_int("GRAN_WORKERS", 0));
+  if (workers <= 0) workers = topo.num_cpus();
+  GRAN_ASSERT(workers >= 1);
+
+  num_numa_domains_ = cfg_.numa_domains > 0 ? cfg_.numa_domains
+                                            : std::max(1, topo.num_numa_nodes());
+  num_numa_domains_ = std::min(num_numa_domains_, workers);
+
+  const int high_queues =
+      cfg_.high_priority_queues > 0 ? std::min(cfg_.high_priority_queues, workers) : workers;
+
+  workers_.reserve(static_cast<std::size_t>(workers));
+  workers_by_node_.resize(static_cast<std::size_t>(num_numa_domains_));
+  for (int w = 0; w < workers; ++w) {
+    auto wd = std::make_unique<worker_data>(cfg_.queue_ring_capacity);
+    wd->index = w;
+    // Spread workers evenly over the NUMA domains, first domains first —
+    // matches how HPX fills sockets with one OS thread per core.
+    wd->numa_node = w * num_numa_domains_ / workers;
+    wd->owns_high_queue = w < high_queues;
+    workers_by_node_[static_cast<std::size_t>(wd->numa_node)].push_back(w);
+    workers_.push_back(std::move(wd));
+  }
+
+  policy_ = make_policy(cfg_.policy);
+  policy_->init(*this);
+
+  register_counters();
+  if (default_manager() == nullptr) set_default_manager(this);
+
+  running_.store(true, std::memory_order_release);
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w)
+    threads_.emplace_back([this, w] { worker_main(w); });
+}
+
+thread_manager::~thread_manager() {
+  stop();
+  unregister_counters();
+  if (default_manager() == this) set_default_manager(nullptr);
+}
+
+std::uint64_t thread_manager::spawn(task::body_fn body, task_priority priority,
+                                    const char* description) {
+  GRAN_ASSERT_MSG(running_.load(std::memory_order_acquire),
+                  "spawn on a stopped thread_manager");
+  auto* t = new task(std::move(body), priority, description);
+  t->set_owner(this);
+  const std::uint64_t id = t->id();
+  tasks_alive_.fetch_add(1, std::memory_order_acq_rel);
+  const int home = tl_manager == this ? tl_worker : -1;
+  policy_->enqueue_new(*this, home, t);
+  return id;
+}
+
+thread_manager* thread_manager::current() noexcept { return tl_manager; }
+task* thread_manager::current_task() noexcept { return tl_task; }
+int thread_manager::current_worker() noexcept { return tl_worker; }
+
+void thread_manager::wake(task* t) {
+  GRAN_ASSERT(t != nullptr);
+  if (t->wake()) schedule_ready(t);
+}
+
+void thread_manager::schedule_ready(task* t) {
+  GRAN_DEBUG_ASSERT(t->state() == task_state::pending);
+  const int home = tl_manager == this ? tl_worker : -1;
+  policy_->enqueue_ready(*this, home, t);
+}
+
+void thread_manager::convert(task* t) {
+  t->convert_to_pending(stacks_.acquire());
+  const int w = tl_manager == this ? tl_worker : 0;
+  if (w >= 0)
+    worker(w).counters.tasks_converted.fetch_add(1, std::memory_order_relaxed);
+}
+
+void thread_manager::retire(task* t) {
+  stacks_.release(t->take_stack());
+  delete t;
+  tasks_alive_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void thread_manager::wait_idle() {
+  GRAN_ASSERT_MSG(tl_manager != this, "wait_idle from a worker would deadlock");
+  backoff bo;
+  while (tasks_alive_.load(std::memory_order_acquire) != 0) bo.pause();
+}
+
+void thread_manager::stop() {
+  bool expected = true;
+  if (!running_.compare_exchange_strong(expected, false, std::memory_order_acq_rel))
+    return;  // already stopped
+  for (auto& th : threads_)
+    if (th.joinable()) th.join();
+  threads_.clear();
+
+  // GRAN_PRINT_COUNTERS=<prefix> dumps the counters at shutdown — the
+  // equivalent of HPX's --hpx:print-counter post-processing interface.
+  const std::string prefix = env_string("GRAN_PRINT_COUNTERS", "");
+  if (!prefix.empty()) {
+    std::cerr << "[gran] counters at shutdown (" << prefix << "):\n";
+    perf::dump_table(std::cerr, prefix == "all" ? "/" : prefix);
+  }
+}
+
+void thread_manager::worker_main(int w) {
+  tl_manager = this;
+  tl_worker = w;
+
+  if (cfg_.pin_workers && topology::host().num_cpus() >= num_workers())
+    pin_current_thread(w % topology::host().num_cpus());
+
+  worker_data& me = worker(w);
+  std::uint64_t stamp = tsc_clock::now();
+  unsigned idle_streak = 0;
+
+  const auto accumulate_func = [&] {
+    const std::uint64_t now = tsc_clock::now();
+    me.counters.func_ticks.fetch_add(now - stamp, std::memory_order_relaxed);
+    stamp = now;
+  };
+
+  for (;;) {
+    task* t = policy_->get_next(*this, w);
+    accumulate_func();
+    if (t != nullptr) {
+      idle_streak = 0;
+      run_phase(w, t);
+      accumulate_func();
+      continue;
+    }
+
+    // Nothing anywhere: shut down once the manager stopped and no task can
+    // produce more work.
+    if (!running_.load(std::memory_order_acquire) &&
+        tasks_alive_.load(std::memory_order_acquire) == 0)
+      break;
+
+    ++idle_streak;
+    if (idle_streak < cfg_.idle_spin_limit) {
+      cpu_relax();
+    } else if (idle_streak < cfg_.idle_yield_limit) {
+      std::this_thread::yield();
+    } else {
+      // Long starvation: sleep briefly. The sleep still counts into
+      // Σt_func, which is what makes starvation visible as idle-rate.
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    accumulate_func();
+  }
+
+  tl_manager = nullptr;
+  tl_worker = -1;
+}
+
+void thread_manager::run_phase(int w, task* t) {
+  worker_data& me = worker(w);
+  t->begin_phase(w);
+
+  tl_task = t;
+  const std::uint64_t t0 = tsc_clock::now();
+  t->context().resume();
+  const std::uint64_t dt = tsc_clock::now() - t0;
+  tl_task = nullptr;
+
+  me.counters.exec_ticks.fetch_add(dt, std::memory_order_relaxed);
+  me.counters.phases_executed.fetch_add(1, std::memory_order_relaxed);
+  t->count_phase();
+
+  if (t->context().finished()) {
+    t->finish();
+    me.counters.tasks_executed.fetch_add(1, std::memory_order_relaxed);
+    retire(t);
+    return;
+  }
+  if (t->consume_yield_request()) {
+    t->requeue_after_yield();
+    policy_->enqueue_ready(*this, w, t);
+    return;
+  }
+  if (!t->finalize_suspend()) {
+    // A wake arrived while the task was switching away.
+    policy_->enqueue_ready(*this, w, t);
+  }
+}
+
+thread_manager::totals thread_manager::counter_totals() const {
+  totals sum;
+  const double ns_per_tick = tsc_clock::ns_per_tick();
+  std::uint64_t exec_ticks = 0;
+  std::uint64_t func_ticks = 0;
+  for (const auto& wd : workers_) {
+    const worker_counters& c = wd->counters;
+    sum.tasks_executed += c.tasks_executed.load(std::memory_order_relaxed);
+    sum.phases_executed += c.phases_executed.load(std::memory_order_relaxed);
+    exec_ticks += c.exec_ticks.load(std::memory_order_relaxed);
+    func_ticks += c.func_ticks.load(std::memory_order_relaxed);
+    sum.tasks_stolen += c.tasks_stolen.load(std::memory_order_relaxed);
+    sum.tasks_converted += c.tasks_converted.load(std::memory_order_relaxed);
+
+    const queue_access_counts q = wd->queue.counts();
+    const queue_access_counts h = wd->high_queue.counts();
+    sum.queues.pending_accesses +=
+        q.pending_accesses + h.pending_accesses +
+        c.extra_pending_accesses.load(std::memory_order_relaxed);
+    sum.queues.pending_misses += q.pending_misses + h.pending_misses +
+                                 c.extra_pending_misses.load(std::memory_order_relaxed);
+    sum.queues.staged_accesses += q.staged_accesses + h.staged_accesses;
+    sum.queues.staged_misses += q.staged_misses + h.staged_misses;
+  }
+  const queue_access_counts low = low_queue_.counts();
+  sum.queues.pending_accesses += low.pending_accesses;
+  sum.queues.pending_misses += low.pending_misses;
+  sum.queues.staged_accesses += low.staged_accesses;
+  sum.queues.staged_misses += low.staged_misses;
+
+  sum.exec_ns = static_cast<std::uint64_t>(static_cast<double>(exec_ticks) * ns_per_tick);
+  sum.func_ns = static_cast<std::uint64_t>(static_cast<double>(func_ticks) * ns_per_tick);
+  return sum;
+}
+
+void thread_manager::reset_counters() {
+  for (auto& wd : workers_) {
+    wd->counters.reset();
+    wd->queue.reset_counts();
+    wd->high_queue.reset_counts();
+  }
+  low_queue_.reset_counts();
+}
+
+void thread_manager::register_counters() {
+  auto& reg = perf::registry::instance();
+  reg.remove_prefix("/threads");
+
+  const auto tot = [this] { return counter_totals(); };
+  using perf::counter_kind;
+
+  reg.add("/threads/count/cumulative", counter_kind::monotonic,
+          "number of HPX-threads (tasks) executed to completion (nt)",
+          [tot] { return static_cast<double>(tot().tasks_executed); });
+  reg.add("/threads/count/cumulative-phases", counter_kind::monotonic,
+          "number of thread phases (activations) executed",
+          [tot] { return static_cast<double>(tot().phases_executed); });
+  reg.add("/threads/time/cumulative", counter_kind::monotonic,
+          "sum of task execution time (Σt_exec), ns",
+          [tot] { return static_cast<double>(tot().exec_ns); });
+  reg.add("/threads/time/overall", counter_kind::monotonic,
+          "sum of worker-loop time (Σt_func), ns",
+          [tot] { return static_cast<double>(tot().func_ns); });
+  reg.add("/threads/time/cumulative-overhead", counter_kind::monotonic,
+          "sum of thread-management time (Σt_func − Σt_exec), ns", [tot] {
+            const auto s = tot();
+            return static_cast<double>(s.func_ns - std::min(s.func_ns, s.exec_ns));
+          });
+  reg.add("/threads/time/average", counter_kind::gauge,
+          "average task duration td = Σt_exec / nt, ns (Eq. 2)", [tot] {
+            const auto s = tot();
+            return s.tasks_executed
+                       ? static_cast<double>(s.exec_ns) /
+                             static_cast<double>(s.tasks_executed)
+                       : 0.0;
+          });
+  reg.add("/threads/time/average-overhead", counter_kind::gauge,
+          "average task overhead to = (Σt_func − Σt_exec) / nt, ns (Eq. 3)", [tot] {
+            const auto s = tot();
+            if (!s.tasks_executed) return 0.0;
+            const double overhead =
+                static_cast<double>(s.func_ns) - static_cast<double>(s.exec_ns);
+            return std::max(0.0, overhead) / static_cast<double>(s.tasks_executed);
+          });
+  reg.add("/threads/time/average-phase", counter_kind::gauge,
+          "average phase duration = Σt_exec / phases, ns", [tot] {
+            const auto s = tot();
+            return s.phases_executed
+                       ? static_cast<double>(s.exec_ns) /
+                             static_cast<double>(s.phases_executed)
+                       : 0.0;
+          });
+  reg.add("/threads/time/average-phase-overhead", counter_kind::gauge,
+          "average phase overhead = (Σt_func − Σt_exec) / phases, ns", [tot] {
+            const auto s = tot();
+            if (!s.phases_executed) return 0.0;
+            const double overhead =
+                static_cast<double>(s.func_ns) - static_cast<double>(s.exec_ns);
+            return std::max(0.0, overhead) / static_cast<double>(s.phases_executed);
+          });
+  reg.add("/threads/idle-rate", counter_kind::rate,
+          "(Σt_func − Σt_exec) / Σt_func (Eq. 1)", [tot] {
+            const auto s = tot();
+            if (!s.func_ns) return 0.0;
+            const double overhead =
+                static_cast<double>(s.func_ns) - static_cast<double>(s.exec_ns);
+            return std::max(0.0, overhead) / static_cast<double>(s.func_ns);
+          });
+  reg.add("/threads/count/pending-accesses", counter_kind::monotonic,
+          "scheduler look-ups into pending queues",
+          [tot] { return static_cast<double>(tot().queues.pending_accesses); });
+  reg.add("/threads/count/pending-misses", counter_kind::monotonic,
+          "pending-queue look-ups that found no work",
+          [tot] { return static_cast<double>(tot().queues.pending_misses); });
+  reg.add("/threads/count/staged-accesses", counter_kind::monotonic,
+          "scheduler look-ups into staged queues",
+          [tot] { return static_cast<double>(tot().queues.staged_accesses); });
+  reg.add("/threads/count/staged-misses", counter_kind::monotonic,
+          "staged-queue look-ups that found no work",
+          [tot] { return static_cast<double>(tot().queues.staged_misses); });
+  reg.add("/threads/count/stolen", counter_kind::monotonic,
+          "tasks obtained from another worker's queues",
+          [tot] { return static_cast<double>(tot().tasks_stolen); });
+  reg.add("/threads/count/converted", counter_kind::monotonic,
+          "staged->pending conversions",
+          [tot] { return static_cast<double>(tot().tasks_converted); });
+  reg.add("/threads/count/instantaneous/alive", counter_kind::gauge,
+          "tasks spawned and not yet terminated",
+          [this] { return static_cast<double>(tasks_alive()); });
+  reg.add("/threads/count/instantaneous/pending", counter_kind::gauge,
+          "tasks currently queued as pending across all workers", [this] {
+            std::size_t n = low_priority_queue().pending_size_approx();
+            for (int w = 0; w < num_workers(); ++w)
+              n += worker(w).queue.pending_size_approx() +
+                   worker(w).high_queue.pending_size_approx();
+            return static_cast<double>(n);
+          });
+  reg.add("/threads/count/instantaneous/staged", counter_kind::gauge,
+          "tasks currently queued as staged across all workers", [this] {
+            std::size_t n = low_priority_queue().staged_size_approx();
+            for (int w = 0; w < num_workers(); ++w)
+              n += worker(w).queue.staged_size_approx() +
+                   worker(w).high_queue.staged_size_approx();
+            return static_cast<double>(n);
+          });
+
+  // Per-worker instances of the headline counters.
+  for (int w = 0; w < num_workers(); ++w) {
+    const std::string inst = "/threads{worker#" + std::to_string(w) + "}";
+    const worker_data* wd = workers_[static_cast<std::size_t>(w)].get();
+    reg.add(inst + "/count/cumulative", counter_kind::monotonic,
+            "tasks executed by this worker", [wd] {
+              return static_cast<double>(
+                  wd->counters.tasks_executed.load(std::memory_order_relaxed));
+            });
+    reg.add(inst + "/time/cumulative", counter_kind::monotonic,
+            "Σt_exec of this worker, ns", [wd] {
+              return static_cast<double>(
+                         wd->counters.exec_ticks.load(std::memory_order_relaxed)) *
+                     tsc_clock::ns_per_tick();
+            });
+    reg.add(inst + "/time/overall", counter_kind::monotonic,
+            "Σt_func of this worker, ns", [wd] {
+              return static_cast<double>(
+                         wd->counters.func_ticks.load(std::memory_order_relaxed)) *
+                     tsc_clock::ns_per_tick();
+            });
+    reg.add(inst + "/count/pending-accesses", counter_kind::monotonic,
+            "pending-queue look-ups on this worker's queues", [wd] {
+              return static_cast<double>(wd->queue.counts().pending_accesses +
+                                         wd->high_queue.counts().pending_accesses);
+            });
+    reg.add(inst + "/count/pending-misses", counter_kind::monotonic,
+            "pending-queue misses on this worker's queues", [wd] {
+              return static_cast<double>(wd->queue.counts().pending_misses +
+                                         wd->high_queue.counts().pending_misses);
+            });
+  }
+}
+
+void thread_manager::unregister_counters() {
+  perf::registry::instance().remove_prefix("/threads");
+}
+
+// --- this_task -------------------------------------------------------------
+
+namespace this_task {
+
+task* current() noexcept { return tl_task; }
+
+void yield() {
+  task* t = tl_task;
+  if (t == nullptr) {
+    std::this_thread::yield();
+    return;
+  }
+  t->request_yield();
+  t->mark_suspending();
+  fiber::current()->suspend();
+}
+
+void prepare_suspend() {
+  GRAN_ASSERT_MSG(tl_task != nullptr, "prepare_suspend outside a task");
+  tl_task->mark_suspending();
+}
+
+void cancel_suspend() {
+  GRAN_ASSERT_MSG(tl_task != nullptr, "cancel_suspend outside a task");
+  tl_task->cancel_suspend();
+}
+
+void commit_suspend() {
+  GRAN_ASSERT_MSG(tl_task != nullptr, "commit_suspend outside a task");
+  fiber::current()->suspend();
+}
+
+void suspend() {
+  prepare_suspend();
+  commit_suspend();
+}
+
+std::uint64_t id() noexcept { return tl_task ? tl_task->id() : 0; }
+int worker_index() noexcept { return tl_worker; }
+
+}  // namespace this_task
+
+}  // namespace gran

@@ -1,0 +1,184 @@
+// The thread manager: a pool of worker OS threads (one per core by default,
+// pinned) cooperatively scheduling lightweight tasks — the M:N hybrid
+// threading model of paper §I-B.
+//
+// Responsibilities:
+//   * owns the per-worker dual queues and the global low-priority queue;
+//   * drives the scheduling policy's search loop on every worker;
+//   * accounts Σt_exec / Σt_func / task & phase counts per worker and
+//     registers them as named performance counters (perf/counters.hpp);
+//   * implements the suspend/wake handshake used by futures and
+//     synchronization primitives.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "fiber/stack.hpp"
+#include "perf/counters.hpp"
+#include "queues/dual_queue.hpp"
+#include "threads/config.hpp"
+#include "threads/policy.hpp"
+#include "threads/task.hpp"
+#include "threads/worker.hpp"
+#include "util/cacheline.hpp"
+
+namespace gran {
+
+class thread_manager {
+ public:
+  // Builds the pool and starts the workers immediately.
+  explicit thread_manager(scheduler_config cfg = {});
+
+  // Drains all remaining work, then stops and joins the workers.
+  ~thread_manager();
+
+  thread_manager(const thread_manager&) = delete;
+  thread_manager& operator=(const thread_manager&) = delete;
+
+  // --- task creation ----------------------------------------------------
+
+  // Schedules `body` as a new task; returns its id. The task is created as
+  // a staged description (no stack) and converted on first schedule.
+  std::uint64_t spawn(task::body_fn body,
+                      task_priority priority = task_priority::normal,
+                      const char* description = "<task>");
+
+  // --- used by synchronization primitives --------------------------------
+
+  // Manager whose worker is executing the calling code (nullptr outside any
+  // worker of any manager).
+  static thread_manager* current() noexcept;
+  // Task executing on the calling OS thread (nullptr outside tasks).
+  static task* current_task() noexcept;
+  // Worker index on the calling OS thread (-1 outside workers).
+  static int current_worker() noexcept;
+
+  // Wakes a suspended/suspending task (see task::wake) and re-queues it if
+  // the caller won the transition. Safe from any thread, BUT: waking a task
+  // parked inside a library primitive (mutex, latch, future, ...) is
+  // reserved to that primitive — it owns the task's waiter-list entry.
+  // External wake() is for tasks parked via bare this_task::suspend(),
+  // whose wake-up the caller arranged itself. The caller must also
+  // guarantee the task object is still alive (a terminated task is deleted
+  // by the runtime).
+  void wake(task* t);
+
+  // Re-queues a pending task (used internally and by tests).
+  void schedule_ready(task* t);
+
+  // Attaches a context to a staged task (stack from this manager's pool).
+  void convert(task* t);
+  // Returns a terminated task's stack to the pool and deletes the task.
+  void retire(task* t);
+
+  // --- lifecycle ----------------------------------------------------------
+
+  // Blocks the calling (non-worker) thread until no task is alive.
+  void wait_idle();
+
+  // Signals shutdown; workers exit once all work has drained. Idempotent;
+  // called by the destructor.
+  void stop();
+
+  // --- introspection -----------------------------------------------------
+
+  int num_workers() const noexcept { return static_cast<int>(workers_.size()); }
+  int num_numa_domains() const noexcept { return num_numa_domains_; }
+  const scheduler_config& config() const noexcept { return cfg_; }
+  scheduling_policy& policy() noexcept { return *policy_; }
+
+  worker_data& worker(int w) { return *workers_[static_cast<std::size_t>(w)]; }
+  const worker_data& worker(int w) const { return *workers_[static_cast<std::size_t>(w)]; }
+  const std::vector<int>& workers_of_node(int node) const {
+    return workers_by_node_[static_cast<std::size_t>(node)];
+  }
+
+  dual_queue<task*, task*>& low_priority_queue() noexcept { return low_queue_; }
+  const dual_queue<task*, task*>& low_priority_queue() const noexcept { return low_queue_; }
+
+  std::uint64_t tasks_alive() const noexcept {
+    return tasks_alive_.load(std::memory_order_acquire);
+  }
+
+  // Aggregated raw counter values across all workers.
+  struct totals {
+    std::uint64_t tasks_executed = 0;
+    std::uint64_t phases_executed = 0;
+    std::uint64_t exec_ns = 0;   // Σ t_exec
+    std::uint64_t func_ns = 0;   // Σ t_func (worker loop time, ⊇ exec)
+    std::uint64_t tasks_stolen = 0;
+    std::uint64_t tasks_converted = 0;
+    queue_access_counts queues;  // summed over every dual queue
+  };
+  totals counter_totals() const;
+
+  // Resets every software counter (start of a measurement region).
+  void reset_counters();
+
+  // Registers/unregisters the /threads/... counters with the global
+  // registry. Called by the constructor/destructor when
+  // cfg.num_workers >= 0 (always); concurrent managers overwrite each
+  // other's registrations — run one instrumented manager at a time.
+  void register_counters();
+  void unregister_counters();
+
+ private:
+  friend struct this_task_access;
+
+  void worker_main(int w);
+  // Runs one thread-phase of `t` on worker `w`; handles termination,
+  // yield re-queueing, and suspension finalization.
+  void run_phase(int w, task* t);
+
+  scheduler_config cfg_;
+  std::unique_ptr<scheduling_policy> policy_;
+  std::vector<std::unique_ptr<worker_data>> workers_;
+  std::vector<std::vector<int>> workers_by_node_;
+  int num_numa_domains_ = 1;
+
+  dual_queue<task*, task*> low_queue_;
+  stack_pool stacks_;
+
+  std::vector<std::thread> threads_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> tasks_alive_{0};
+  std::atomic<std::uint64_t> next_home_{0};  // round-robin for external spawns
+};
+
+// --- API available inside tasks -------------------------------------------
+
+namespace this_task {
+
+// The current task (nullptr when not running inside one).
+task* current() noexcept;
+
+// Cooperatively yields: ends the current thread-phase and re-queues the
+// task at the back of its worker's pending queue. No-op outside a task.
+void yield();
+
+// Suspends the current task until someone calls thread_manager::wake on it.
+// The caller must have arranged for that wake (sync primitives do). See
+// task::cancel_suspend for the full race-free protocol.
+void suspend();
+
+// Granular suspension for synchronization primitives, whose protocol is:
+//     prepare_suspend();
+//     { lock; register waiter; if (already ready) { deregister;
+//       cancel_suspend(); return; } }
+//     commit_suspend();   // context-switches away
+// Wakers observing the task after prepare_suspend interact correctly with
+// it through thread_manager::wake.
+void prepare_suspend();   // task::mark_suspending
+void cancel_suspend();    // task::cancel_suspend
+void commit_suspend();    // switch back to the worker; returns when woken
+
+// Identifier helpers.
+std::uint64_t id() noexcept;          // 0 outside a task
+int worker_index() noexcept;          // -1 outside a worker
+
+}  // namespace this_task
+
+}  // namespace gran

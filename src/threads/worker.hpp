@@ -1,0 +1,59 @@
+// Per-worker state: the dual staged/pending queues of Fig. 1, the software
+// performance-counter cells, and idle bookkeeping. One instance per worker
+// OS thread, cache-line padded inside the manager's array.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "queues/dual_queue.hpp"
+#include "util/cacheline.hpp"
+
+namespace gran {
+
+class task;
+
+// Counter cells written by the owning worker with relaxed atomics and read
+// by anyone (perf-counter queries, other workers' heuristics).
+struct worker_counters {
+  std::atomic<std::uint64_t> tasks_executed{0};    // nt contribution
+  std::atomic<std::uint64_t> phases_executed{0};
+  std::atomic<std::uint64_t> exec_ticks{0};        // Σ t_exec (TSC ticks)
+  std::atomic<std::uint64_t> func_ticks{0};        // worker-loop wall ticks
+  std::atomic<std::uint64_t> tasks_stolen{0};      // obtained from another worker
+  std::atomic<std::uint64_t> tasks_converted{0};   // staged -> pending transforms
+  // Queue-probe counts for policies that bypass the instrumented dual_queue
+  // (work-stealing-lifo keeps its own deques); zero otherwise.
+  std::atomic<std::uint64_t> extra_pending_accesses{0};
+  std::atomic<std::uint64_t> extra_pending_misses{0};
+
+  void reset() {
+    tasks_executed.store(0, std::memory_order_relaxed);
+    phases_executed.store(0, std::memory_order_relaxed);
+    exec_ticks.store(0, std::memory_order_relaxed);
+    func_ticks.store(0, std::memory_order_relaxed);
+    tasks_stolen.store(0, std::memory_order_relaxed);
+    tasks_converted.store(0, std::memory_order_relaxed);
+    extra_pending_accesses.store(0, std::memory_order_relaxed);
+    extra_pending_misses.store(0, std::memory_order_relaxed);
+  }
+};
+
+struct worker_data {
+  explicit worker_data(std::size_t ring_capacity)
+      : queue(ring_capacity), high_queue(ring_capacity) {}
+
+  // Normal-priority dual queue (always used).
+  dual_queue<task*, task*> queue;
+  // High-priority dual queue; only the first `high_priority_queues` workers
+  // own an active one (others leave it empty).
+  dual_queue<task*, task*> high_queue;
+
+  worker_counters counters;
+
+  int index = -1;
+  int numa_node = 0;
+  bool owns_high_queue = false;
+};
+
+}  // namespace gran

@@ -1,0 +1,34 @@
+#include "topo/affinity.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <thread>
+
+namespace gran {
+
+bool pin_current_thread(int cpu) {
+  if (cpu < 0 || cpu >= CPU_SETSIZE) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+bool unpin_current_thread() {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  const unsigned n = std::max(1u, std::thread::hardware_concurrency());
+  for (unsigned i = 0; i < n && i < CPU_SETSIZE; ++i) CPU_SET(i, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+int current_cpu() {
+#if defined(__linux__)
+  return sched_getcpu();
+#else
+  return -1;
+#endif
+}
+
+}  // namespace gran

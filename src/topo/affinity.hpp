@@ -1,0 +1,18 @@
+// CPU-affinity control for worker OS threads. HPX pins one OS thread per
+// core by default; the thread manager uses these helpers to do the same.
+#pragma once
+
+namespace gran {
+
+// Pins the calling thread to the given logical CPU. Returns false if the
+// kernel rejected the mask (CPU offline / containerized restriction); the
+// caller then runs unpinned, which only affects measurement fidelity.
+bool pin_current_thread(int cpu);
+
+// Removes any pinning from the calling thread (all-CPUs mask).
+bool unpin_current_thread();
+
+// The CPU the calling thread last ran on (-1 if unavailable).
+int current_cpu();
+
+}  // namespace gran

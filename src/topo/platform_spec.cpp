@@ -1,0 +1,155 @@
+#include "topo/platform_spec.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "topo/topology.hpp"
+
+namespace gran {
+
+const platform_spec& sandy_bridge_spec() {
+  static const platform_spec spec{
+      .name = "sandy-bridge",
+      .processor = "Intel Xeon E5 2690",
+      .microarch = "Sandy Bridge (SB)",
+      .clock_ghz = 2.9,
+      .turbo_ghz = 3.8,
+      .hardware_threads = 1,  // 2-way, deactivated
+      .cores = 16,
+      .numa_domains = 2,
+      .l1d_kb = 32,
+      .l1i_kb = 32,
+      .l2_kb = 256,
+      .shared_cache_mb = 20,
+      .ram_gb = 64,
+  };
+  return spec;
+}
+
+const platform_spec& ivy_bridge_spec() {
+  static const platform_spec spec{
+      .name = "ivy-bridge",
+      .processor = "Intel Xeon E5-2679 v3",
+      .microarch = "Ivy Bridge (IB)",
+      .clock_ghz = 2.3,
+      .turbo_ghz = 3.3,
+      .hardware_threads = 1,
+      .cores = 20,
+      .numa_domains = 2,
+      .l1d_kb = 32,
+      .l1i_kb = 32,
+      .l2_kb = 256,
+      .shared_cache_mb = 35,
+      .ram_gb = 128,
+  };
+  return spec;
+}
+
+const platform_spec& haswell_spec() {
+  static const platform_spec spec{
+      .name = "haswell",
+      .processor = "Intel Xeon E5-2695 v3",
+      .microarch = "Haswell (HW)",
+      .clock_ghz = 2.3,
+      .turbo_ghz = 3.3,
+      .hardware_threads = 1,
+      .cores = 28,
+      .numa_domains = 2,
+      .l1d_kb = 32,
+      .l1i_kb = 32,
+      .l2_kb = 256,
+      .shared_cache_mb = 35,
+      .ram_gb = 128,
+  };
+  return spec;
+}
+
+const platform_spec& xeon_phi_spec() {
+  static const platform_spec spec{
+      .name = "xeon-phi",
+      .processor = "Intel Xeon Phi",
+      .microarch = "Xeon Phi (KNC)",
+      .clock_ghz = 1.2,
+      .turbo_ghz = 0.0,
+      .hardware_threads = 4,
+      .cores = 61,
+      .numa_domains = 1,
+      .l1d_kb = 32,
+      .l1i_kb = 32,
+      .l2_kb = 512,
+      .shared_cache_mb = 0,
+      .ram_gb = 8,
+  };
+  return spec;
+}
+
+const std::vector<platform_spec>& paper_platforms() {
+  static const std::vector<platform_spec> all{
+      sandy_bridge_spec(), ivy_bridge_spec(), haswell_spec(), xeon_phi_spec()};
+  return all;
+}
+
+const platform_spec* find_platform(const std::string& name) {
+  for (const auto& p : paper_platforms())
+    if (p.name == name) return &p;
+  return nullptr;
+}
+
+namespace {
+
+std::string cpuinfo_model_name() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const auto colon = line.find(':');
+      if (colon != std::string::npos) {
+        std::string name = line.substr(colon + 1);
+        const auto start = name.find_first_not_of(' ');
+        return start == std::string::npos ? name : name.substr(start);
+      }
+    }
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+platform_spec host_spec() {
+  const topology& topo = topology::host();
+  platform_spec spec;
+  spec.name = "host";
+  spec.processor = cpuinfo_model_name();
+  spec.microarch = "host";
+  // Clock: prefer the marketing name's "@ x.yzGHz" suffix, else cpuinfo MHz.
+  const auto at = spec.processor.find('@');
+  if (at != std::string::npos) {
+    const double ghz = std::atof(spec.processor.c_str() + at + 1);
+    if (ghz > 0) spec.clock_ghz = ghz;
+  }
+  if (spec.clock_ghz == 0.0) {
+    std::ifstream in("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("cpu MHz", 0) == 0) {
+        const auto colon = line.find(':');
+        if (colon != std::string::npos)
+          spec.clock_ghz = std::atof(line.c_str() + colon + 1) / 1000.0;
+        break;
+      }
+    }
+  }
+  spec.cores = topo.num_cpus();
+  spec.numa_domains = topo.num_numa_nodes();
+  spec.hardware_threads = 1;
+  for (const auto& c : topo.caches()) {
+    if (c.level == 1 && c.type == "Data") spec.l1d_kb = c.size_bytes / 1024;
+    if (c.level == 1 && c.type == "Instruction") spec.l1i_kb = c.size_bytes / 1024;
+    if (c.level == 2) spec.l2_kb = c.size_bytes / 1024;
+    if (c.level == 3) spec.shared_cache_mb = c.size_bytes / (1024 * 1024);
+  }
+  return spec;
+}
+
+}  // namespace gran

@@ -1,0 +1,150 @@
+#include "topo/topology.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "util/assert.hpp"
+
+namespace gran {
+
+namespace {
+
+// Reads a small sysfs file; returns empty string when missing.
+std::string read_sysfs(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::string content;
+  std::getline(in, content);
+  return content;
+}
+
+int read_sysfs_int(const std::string& path, int def) {
+  const std::string s = read_sysfs(path);
+  if (s.empty()) return def;
+  try {
+    return std::stoi(s);
+  } catch (...) {
+    return def;
+  }
+}
+
+// Parses sizes like "32K", "256K", "35840K".
+std::size_t parse_cache_size(const std::string& s) {
+  if (s.empty()) return 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  std::size_t mult = 1;
+  if (end && *end == 'K') mult = 1024;
+  if (end && *end == 'M') mult = 1024 * 1024;
+  return static_cast<std::size_t>(v) * mult;
+}
+
+// Counts CPUs in a cpulist such as "0-3,8-11".
+int count_cpulist(const std::string& list) {
+  int count = 0;
+  std::stringstream ss(list);
+  std::string range;
+  while (std::getline(ss, range, ',')) {
+    const auto dash = range.find('-');
+    if (dash == std::string::npos) {
+      if (!range.empty()) ++count;
+    } else {
+      const int lo = std::atoi(range.substr(0, dash).c_str());
+      const int hi = std::atoi(range.substr(dash + 1).c_str());
+      count += hi - lo + 1;
+    }
+  }
+  return count;
+}
+
+topology discover_host() {
+  const int n = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+
+  std::vector<cpu_info> cpus;
+  cpus.reserve(static_cast<std::size_t>(n));
+  int max_node = 0;
+  for (int cpu = 0; cpu < n; ++cpu) {
+    const std::string base = "/sys/devices/system/cpu/cpu" + std::to_string(cpu);
+    cpu_info info;
+    info.os_index = cpu;
+    info.core_id = read_sysfs_int(base + "/topology/core_id", cpu);
+    info.package_id = read_sysfs_int(base + "/topology/physical_package_id", 0);
+    info.numa_node = 0;
+    for (int node = 0; node < 64; ++node) {
+      std::ifstream probe(base + "/node" + std::to_string(node) + "/cpulist");
+      if (probe) {
+        info.numa_node = node;
+        break;
+      }
+    }
+    max_node = std::max(max_node, info.numa_node);
+    cpus.push_back(info);
+  }
+
+  std::vector<cache_info> caches;
+  for (int idx = 0; idx < 8; ++idx) {
+    const std::string base =
+        "/sys/devices/system/cpu/cpu0/cache/index" + std::to_string(idx);
+    const std::string level = read_sysfs(base + "/level");
+    if (level.empty()) break;
+    cache_info c;
+    c.level = std::atoi(level.c_str());
+    c.type = read_sysfs(base + "/type");
+    c.size_bytes = parse_cache_size(read_sysfs(base + "/size"));
+    c.shared = count_cpulist(read_sysfs(base + "/shared_cpu_list")) > 1;
+    caches.push_back(c);
+  }
+
+  return topology::from_parts(std::move(cpus), std::move(caches), max_node + 1);
+}
+
+}  // namespace
+
+const topology& topology::host() {
+  static const topology instance = discover_host();
+  return instance;
+}
+
+topology topology::synthetic(int cpus, int numa_nodes) {
+  GRAN_ASSERT(numa_nodes >= 1);
+  topology t;
+  t.num_numa_nodes_ = numa_nodes;
+  t.cpus_.reserve(static_cast<std::size_t>(std::max(0, cpus)));
+  const int per_node = cpus > 0 ? (cpus + numa_nodes - 1) / numa_nodes : 1;
+  for (int i = 0; i < cpus; ++i) {
+    cpu_info info;
+    info.os_index = i;
+    info.core_id = i;
+    info.package_id = std::min(i / per_node, numa_nodes - 1);
+    info.numa_node = std::min(i / per_node, numa_nodes - 1);
+    t.cpus_.push_back(info);
+  }
+  return t;
+}
+
+topology topology::from_parts(std::vector<cpu_info> cpus, std::vector<cache_info> caches,
+                              int numa_nodes) {
+  GRAN_ASSERT(numa_nodes >= 1);
+  topology t;
+  t.cpus_ = std::move(cpus);
+  t.caches_ = std::move(caches);
+  t.num_numa_nodes_ = numa_nodes;
+  return t;
+}
+
+int topology::numa_node_of(int cpu) const {
+  GRAN_ASSERT(cpu >= 0 && cpu < num_cpus());
+  return cpus_[static_cast<std::size_t>(cpu)].numa_node;
+}
+
+std::vector<int> topology::cpus_of_node(int node) const {
+  std::vector<int> out;
+  for (const auto& c : cpus_)
+    if (c.numa_node == node) out.push_back(c.os_index);
+  return out;
+}
+
+}  // namespace gran

@@ -1,0 +1,63 @@
+// Machine-topology discovery.
+//
+// The thread manager "captures the machine topology at creation time and is
+// parameterized with the number of resources it can use" (paper §I-B). This
+// module discovers logical CPUs, their NUMA node, SMT siblings and cache
+// sizes from Linux sysfs, with conservative fallbacks when sysfs is absent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gran {
+
+struct cpu_info {
+  int os_index = 0;          // logical CPU number (sysfs cpuN)
+  int numa_node = 0;         // owning NUMA node
+  int core_id = 0;           // physical core id (SMT siblings share this)
+  int package_id = 0;        // socket
+};
+
+struct cache_info {
+  int level = 0;             // 1, 2, 3
+  std::string type;          // "Data", "Instruction", "Unified"
+  std::size_t size_bytes = 0;
+  bool shared = false;       // shared by more than one logical CPU
+};
+
+// Immutable snapshot of the machine, built once.
+class topology {
+ public:
+  // Discovers the host topology (sysfs; falls back to a flat single-node
+  // layout of hardware_concurrency CPUs).
+  static const topology& host();
+
+  // Builds a synthetic topology: `cpus` logical CPUs spread evenly over
+  // `numa_nodes` nodes. Used by tests and by the simulator's machine models.
+  static topology synthetic(int cpus, int numa_nodes);
+
+  // Assembles a topology from explicit parts (discovery and tests).
+  static topology from_parts(std::vector<cpu_info> cpus, std::vector<cache_info> caches,
+                             int numa_nodes);
+
+  int num_cpus() const noexcept { return static_cast<int>(cpus_.size()); }
+  int num_numa_nodes() const noexcept { return num_numa_nodes_; }
+  const std::vector<cpu_info>& cpus() const noexcept { return cpus_; }
+  const std::vector<cache_info>& caches() const noexcept { return caches_; }
+
+  // NUMA node owning the given logical CPU.
+  int numa_node_of(int cpu) const;
+
+  // All logical CPUs of a NUMA node, ascending.
+  std::vector<int> cpus_of_node(int node) const;
+
+ private:
+  topology() = default;
+
+  std::vector<cpu_info> cpus_;
+  std::vector<cache_info> caches_;
+  int num_numa_nodes_ = 1;
+};
+
+}  // namespace gran

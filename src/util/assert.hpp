@@ -1,0 +1,38 @@
+// Lightweight always-on assertion macros for runtime invariants.
+//
+// GRAN_ASSERT is active in all build types: the invariants it guards
+// (scheduler state machines, queue linkage) are cheap relative to the
+// operations they protect and catching a corrupted task state late is far
+// more expensive than the check.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gran::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "gran: assertion failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace gran::detail
+
+#define GRAN_ASSERT(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) ::gran::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define GRAN_ASSERT_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) ::gran::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+// Debug-only assertion for hot paths.
+#ifdef NDEBUG
+#define GRAN_DEBUG_ASSERT(expr) ((void)0)
+#else
+#define GRAN_DEBUG_ASSERT(expr) GRAN_ASSERT(expr)
+#endif

@@ -1,0 +1,49 @@
+// Exponential spin backoff for lock-free retry loops and idle worker waits.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace gran {
+
+// Single CPU pause/yield hint.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+// Exponential backoff: spins with pause hints, escalating to OS yield once
+// the spin budget is exhausted. Reset when progress is made.
+class backoff {
+ public:
+  explicit backoff(std::uint32_t spin_limit = 1024) noexcept : spin_limit_(spin_limit) {}
+
+  void pause() noexcept {
+    if (count_ < spin_limit_) {
+      for (std::uint32_t i = 0; i < count_ + 1; ++i) cpu_relax();
+      count_ = count_ == 0 ? 1 : count_ * 2;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() noexcept { count_ = 0; }
+
+  // True once backoff has escalated past pure spinning.
+  bool yielding() const noexcept { return count_ >= spin_limit_; }
+
+ private:
+  std::uint32_t count_ = 0;
+  std::uint32_t spin_limit_;
+};
+
+}  // namespace gran

@@ -1,0 +1,31 @@
+// Cache-line geometry and padding helpers used to keep per-worker hot data
+// (queues, counter cells) from false sharing.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace gran {
+
+// std::hardware_destructive_interference_size is 64 on every x86-64 libstdc++
+// but is not guaranteed to be defined; pin it explicitly.
+inline constexpr std::size_t cache_line_size = 64;
+
+// Wraps a value in storage padded out to a whole number of cache lines so
+// adjacent array elements never share a line.
+template <typename T>
+struct alignas(cache_line_size) padded {
+  T value{};
+
+  padded() = default;
+  template <typename... Args>
+  explicit padded(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+}  // namespace gran

@@ -1,0 +1,29 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace gran {
+
+std::string env_string(const char* name, const std::string& def) {
+  const char* v = std::getenv(name);
+  return v ? std::string(v) : def;
+}
+
+std::int64_t env_int(const char* name, std::int64_t def) {
+  const char* v = std::getenv(name);
+  if (!v) return def;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  return (end == v || *end != '\0') ? def : parsed;
+}
+
+bool env_bool(const char* name, bool def) {
+  const char* v = std::getenv(name);
+  if (!v) return def;
+  const std::string s(v);
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  return def;
+}
+
+}  // namespace gran

@@ -1,0 +1,14 @@
+// Typed environment-variable access (configuration of defaults such as
+// GRAN_LOG, GRAN_STACK_SIZE).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gran {
+
+std::string env_string(const char* name, const std::string& def);
+std::int64_t env_int(const char* name, std::int64_t def);
+bool env_bool(const char* name, bool def);
+
+}  // namespace gran

@@ -1,0 +1,62 @@
+// Sample statistics used by the experiment driver.
+//
+// The paper reports mean, standard deviation and coefficient of variation
+// (COV = stddev / mean) of execution times and event counts over 10 samples
+// (§II, §IV). sample_stats reproduces exactly those quantities.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gran {
+
+// Accumulates samples one at a time (Welford's algorithm) without storing
+// them. Suitable for long counter streams.
+class running_stats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator), 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  // Coefficient of variation: stddev / mean (0 when mean is 0).
+  double cov() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  // Merges another accumulator (parallel reduction of per-worker stats).
+  void merge(const running_stats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Stores samples; adds percentiles to the running_stats quantities.
+class sample_stats {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  double mean() const noexcept;
+  double stddev() const noexcept;
+  double cov() const noexcept;
+  double min() const noexcept;
+  double max() const noexcept;
+  // Linear-interpolated percentile, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace gran

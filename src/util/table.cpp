@@ -1,0 +1,118 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace gran {
+
+table_writer::table_writer(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void table_writer::add_row(std::vector<std::string> cells) {
+  GRAN_ASSERT_MSG(cells.size() == headers_.size(), "row width must match header");
+  rows_.push_back(std::move(cells));
+}
+
+void table_writer::add_numeric_row(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> out;
+  out.reserve(cells.size());
+  for (double v : cells) out.push_back(format_number(v, precision));
+  add_row(std::move(out));
+}
+
+void table_writer::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c];
+      for (std::size_t i = row[c].size(); i < widths[c]; ++i) os << ' ';
+      os << " |";
+    }
+    os << '\n';
+  };
+  const auto print_rule = [&]() {
+    os << "+";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      for (std::size_t i = 0; i < widths[c] + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+
+  print_rule();
+  print_row(headers_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+void table_writer::print_csv(std::ostream& os) const {
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+bool table_writer::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  print_csv(out);
+  return static_cast<bool>(out);
+}
+
+std::string format_number(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  if (s == "-0") s = "0";
+  return s;
+}
+
+std::string format_duration_ns(double ns) {
+  const double a = std::fabs(ns);
+  char buf[64];
+  if (a < 1e3)
+    std::snprintf(buf, sizeof(buf), "%.0f ns", ns);
+  else if (a < 1e6)
+    std::snprintf(buf, sizeof(buf), "%.2f us", ns / 1e3);
+  else if (a < 1e9)
+    std::snprintf(buf, sizeof(buf), "%.2f ms", ns / 1e6);
+  else
+    std::snprintf(buf, sizeof(buf), "%.3f s", ns / 1e9);
+  return buf;
+}
+
+std::string format_count(std::int64_t v) {
+  const bool neg = v < 0;
+  std::string digits = std::to_string(neg ? -v : v);
+  std::string out;
+  int seen = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (seen && seen % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++seen;
+  }
+  if (neg) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace gran

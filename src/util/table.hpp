@@ -1,0 +1,52 @@
+// ASCII-table and CSV emitters for the bench harness.
+//
+// Every figure bench prints (a) a human-readable aligned table of the series
+// the paper plots, and (b) optionally the same rows as CSV for re-plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gran {
+
+class table_writer {
+ public:
+  explicit table_writer(std::vector<std::string> headers);
+
+  // Adds a row; cells are pre-formatted strings. Row length must match the
+  // header count.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats a mixed row of doubles with the given precision.
+  void add_numeric_row(const std::vector<double>& cells, int precision = 4);
+
+  // Writes an aligned ASCII table.
+  void print(std::ostream& os) const;
+
+  // Writes RFC-4180-ish CSV (no quoting needed for our numeric content).
+  void print_csv(std::ostream& os) const;
+
+  // Writes CSV to a file path; returns false on I/O failure.
+  bool save_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return headers_; }
+  const std::vector<std::vector<std::string>>& data() const { return rows_; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double trimmed of trailing zeros ("1.25", "3", "0.0041").
+std::string format_number(double v, int precision = 4);
+
+// Formats nanoseconds with an adaptive unit ("312 ns", "21.4 us", "1.75 s").
+std::string format_duration_ns(double ns);
+
+// Formats a count with thousands separators ("12,500,000").
+std::string format_count(std::int64_t v);
+
+}  // namespace gran

@@ -1,0 +1,70 @@
+#include "util/timer.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace gran {
+
+std::uint64_t rdtsc() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+namespace {
+
+double measure_ns_per_tick() {
+#if defined(__x86_64__) || defined(__i386__)
+  using clock = std::chrono::steady_clock;
+  // Two short windows; take the slower estimate to dampen scheduling noise.
+  double best = 0.0;
+  for (int pass = 0; pass < 2; ++pass) {
+    const auto t0 = clock::now();
+    const std::uint64_t c0 = rdtsc();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    const std::uint64_t c1 = rdtsc();
+    const auto t1 = clock::now();
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+    const double ticks = static_cast<double>(c1 - c0);
+    if (ticks > 0) best = std::max(best, ns / ticks);
+  }
+  return best > 0 ? best : 1.0;
+#else
+  return 1.0;  // fallback counter already runs in steady_clock ns
+#endif
+}
+
+std::atomic<double> g_ns_per_tick{0.0};
+std::mutex g_calibrate_mutex;
+
+}  // namespace
+
+double tsc_clock::ns_per_tick() {
+  double v = g_ns_per_tick.load(std::memory_order_acquire);
+  if (v == 0.0) {
+    std::lock_guard<std::mutex> lock(g_calibrate_mutex);
+    v = g_ns_per_tick.load(std::memory_order_acquire);
+    if (v == 0.0) {
+      v = measure_ns_per_tick();
+      g_ns_per_tick.store(v, std::memory_order_release);
+    }
+  }
+  return v;
+}
+
+void tsc_clock::calibrate() {
+  std::lock_guard<std::mutex> lock(g_calibrate_mutex);
+  g_ns_per_tick.store(measure_ns_per_tick(), std::memory_order_release);
+}
+
+}  // namespace gran

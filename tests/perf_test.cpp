@@ -1,0 +1,172 @@
+// Tests for the performance-counter framework (src/perf): path parsing,
+// registry operations, snapshot/interval semantics.
+#include <gtest/gtest.h>
+
+#include "perf/counters.hpp"
+#include "perf/report.hpp"
+#include "perf/sampler.hpp"
+
+#include <sstream>
+
+namespace gran::perf {
+namespace {
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { registry::instance().remove_prefix("/test"); }
+  void TearDown() override { registry::instance().remove_prefix("/test"); }
+};
+
+// --- counter_path ------------------------------------------------------------
+
+TEST(CounterPath, ParsesSimple) {
+  const auto p = counter_path::parse("/threads/count/cumulative");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->object, "threads");
+  EXPECT_EQ(p->instance, "");
+  EXPECT_EQ(p->name, "count/cumulative");
+  EXPECT_EQ(p->str(), "/threads/count/cumulative");
+}
+
+TEST(CounterPath, ParsesInstance) {
+  const auto p = counter_path::parse("/threads{worker#3}/time/average");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->object, "threads");
+  EXPECT_EQ(p->instance, "worker#3");
+  EXPECT_EQ(p->name, "time/average");
+  EXPECT_EQ(p->str(), "/threads{worker#3}/time/average");
+}
+
+TEST(CounterPath, RejectsMalformed) {
+  EXPECT_FALSE(counter_path::parse("").has_value());
+  EXPECT_FALSE(counter_path::parse("threads/count").has_value());  // no leading /
+  EXPECT_FALSE(counter_path::parse("/threads").has_value());       // no name
+  EXPECT_FALSE(counter_path::parse("/threads{worker/name").has_value());  // open brace
+  EXPECT_FALSE(counter_path::parse("/threads/").has_value());      // empty name
+  EXPECT_FALSE(counter_path::parse("/{x}/name").has_value());      // empty object
+}
+
+// --- registry -----------------------------------------------------------------
+
+TEST_F(RegistryTest, AddQueryRemove) {
+  auto& reg = registry::instance();
+  int value = 10;
+  reg.add("/test/counter", counter_kind::monotonic, "a test counter",
+          [&value] { return static_cast<double>(value); });
+  const auto v = reg.query("/test/counter");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->value, 10.0);
+  EXPECT_GT(v->timestamp_ns, 0);
+  value = 20;
+  EXPECT_EQ(reg.value_or("/test/counter", -1), 20.0);
+  EXPECT_TRUE(reg.remove("/test/counter"));
+  EXPECT_FALSE(reg.remove("/test/counter"));
+  EXPECT_FALSE(reg.query("/test/counter").has_value());
+  EXPECT_EQ(reg.value_or("/test/counter", -1), -1.0);
+}
+
+TEST_F(RegistryTest, ListByPrefix) {
+  auto& reg = registry::instance();
+  reg.add("/test/a", counter_kind::gauge, "", [] { return 1.0; });
+  reg.add("/test/b", counter_kind::gauge, "", [] { return 2.0; });
+  reg.add("/test2/c", counter_kind::gauge, "", [] { return 3.0; });
+  const auto listed = reg.list("/test/");
+  EXPECT_EQ(listed.size(), 2u);
+  EXPECT_EQ(listed[0], "/test/a");
+  reg.remove_prefix("/test2");
+  EXPECT_TRUE(reg.list("/test2").empty());
+}
+
+TEST_F(RegistryTest, KindAndDescription) {
+  auto& reg = registry::instance();
+  reg.add("/test/rate", counter_kind::rate, "a rate", [] { return 0.5; });
+  EXPECT_EQ(reg.kind_of("/test/rate"), counter_kind::rate);
+  EXPECT_EQ(reg.describe("/test/rate"), "a rate");
+  EXPECT_FALSE(reg.kind_of("/test/absent").has_value());
+  EXPECT_TRUE(reg.describe("/test/absent").empty());
+}
+
+TEST_F(RegistryTest, ReplaceRegistration) {
+  auto& reg = registry::instance();
+  reg.add("/test/x", counter_kind::gauge, "v1", [] { return 1.0; });
+  reg.add("/test/x", counter_kind::gauge, "v2", [] { return 2.0; });
+  EXPECT_EQ(reg.value_or("/test/x", 0), 2.0);
+  EXPECT_EQ(reg.describe("/test/x"), "v2");
+}
+
+// --- snapshot / interval ----------------------------------------------------------
+
+TEST_F(RegistryTest, SnapshotCaptures) {
+  auto& reg = registry::instance();
+  double v = 5.0;
+  reg.add("/test/mono", counter_kind::monotonic, "", [&v] { return v; });
+  const auto snap = snapshot::capture({"/test"});
+  EXPECT_TRUE(snap.has("/test/mono"));
+  EXPECT_EQ(snap.value("/test/mono"), 5.0);
+  EXPECT_FALSE(snap.has("/nonexistent"));
+  EXPECT_EQ(snap.value("/nonexistent", -3.0), -3.0);
+}
+
+TEST_F(RegistryTest, IntervalDiffsMonotonicKeepsGauge) {
+  auto& reg = registry::instance();
+  double mono = 100.0, gauge = 7.0;
+  reg.add("/test/mono", counter_kind::monotonic, "", [&mono] { return mono; });
+  reg.add("/test/gauge", counter_kind::gauge, "", [&gauge] { return gauge; });
+
+  const auto before = snapshot::capture({"/test"});
+  mono = 150.0;
+  gauge = 9.0;
+  const auto after = snapshot::capture({"/test"});
+
+  const interval delta(before, after);
+  EXPECT_EQ(delta.value("/test/mono"), 50.0);   // differenced
+  EXPECT_EQ(delta.value("/test/gauge"), 9.0);   // end value
+  EXPECT_EQ(delta.delta("/test/gauge"), 2.0);   // raw difference on request
+  EXPECT_GE(delta.span_ns(), 0);
+}
+
+TEST_F(RegistryTest, CapturePathsSkipsUnknown) {
+  auto& reg = registry::instance();
+  reg.add("/test/known", counter_kind::gauge, "", [] { return 1.0; });
+  const auto snap = snapshot::capture_paths({"/test/known", "/test/unknown"});
+  EXPECT_TRUE(snap.has("/test/known"));
+  EXPECT_FALSE(snap.has("/test/unknown"));
+}
+
+
+// --- report -------------------------------------------------------------------
+
+TEST_F(RegistryTest, DumpCsv) {
+  auto& reg = registry::instance();
+  reg.add("/test/x", counter_kind::monotonic, "", [] { return 5.0; });
+  reg.add("/test/y", counter_kind::gauge, "", [] { return 2.5; });
+  std::ostringstream os;
+  dump_csv(os, "/test");
+  EXPECT_EQ(os.str(), "counter,value\n/test/x,5\n/test/y,2.5\n");
+}
+
+TEST_F(RegistryTest, DumpTableContainsDescriptions) {
+  auto& reg = registry::instance();
+  reg.add("/test/z", counter_kind::gauge, "the z counter", [] { return 1.0; });
+  std::ostringstream os;
+  dump_table(os, "/test");
+  EXPECT_NE(os.str().find("/test/z"), std::string::npos);
+  EXPECT_NE(os.str().find("the z counter"), std::string::npos);
+}
+
+TEST_F(RegistryTest, DumpIntervalCsv) {
+  auto& reg = registry::instance();
+  double mono = 10.0;
+  reg.add("/test/m", counter_kind::monotonic, "", [&mono] { return mono; });
+  const auto before = snapshot::capture({"/test"});
+  mono = 25.0;
+  const auto after = snapshot::capture({"/test"});
+  const interval delta(before, after);
+  std::ostringstream os;
+  dump_interval_csv(os, delta, before);
+  EXPECT_NE(os.str().find("/test/m,15"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gran::perf
+

@@ -1,0 +1,142 @@
+// Tests for the APEX-style policy engine (core/policy_engine.hpp).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "async/gran.hpp"
+#include "core/policy_engine.hpp"
+
+namespace gran::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+scheduler_config test_config(int workers) {
+  scheduler_config cfg;
+  cfg.num_workers = workers;
+  cfg.pin_workers = false;
+  return cfg;
+}
+
+TEST(PolicyEngine, TicksAtConfiguredPeriod) {
+  policy_engine_options opts;
+  opts.period = 5ms;
+  policy_engine engine(opts);
+  std::atomic<int> evaluations{0};
+  engine.add_policy("count-ticks", {}, [&](const perf::interval&, std::uint64_t) {
+    ++evaluations;
+  });
+  engine.start();
+  EXPECT_TRUE(engine.running());
+  std::this_thread::sleep_for(60ms);
+  engine.stop();
+  EXPECT_FALSE(engine.running());
+  EXPECT_GE(evaluations.load(), 4);
+  EXPECT_EQ(static_cast<std::uint64_t>(evaluations.load()), engine.ticks());
+  // Stopped engine evaluates nothing further.
+  const int after_stop = evaluations.load();
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(evaluations.load(), after_stop);
+}
+
+TEST(PolicyEngine, SeesCounterDeltas) {
+  thread_manager tm(test_config(2));
+  policy_engine_options opts;
+  opts.period = 5ms;
+  policy_engine engine(opts);
+  std::atomic<double> total_tasks_seen{0};
+  engine.add_policy("task-counter", {"/threads/count/cumulative"},
+                    [&](const perf::interval& delta, std::uint64_t) {
+                      total_tasks_seen =
+                          total_tasks_seen + delta.value("/threads/count/cumulative", 0);
+                    });
+  engine.start();
+  std::this_thread::sleep_for(15ms);  // let the engine capture its baseline
+  for (int i = 0; i < 500; ++i) tm.spawn([] {});
+  tm.wait_idle();
+  std::this_thread::sleep_for(25ms);  // at least one tick after the work
+  engine.stop();
+  // Sum of deltas across ticks == total tasks executed during the window.
+  EXPECT_GE(total_tasks_seen.load(), 500.0);
+}
+
+TEST(PolicyEngine, PolicyExceptionsAreContained) {
+  policy_engine_options opts;
+  opts.period = 2ms;
+  policy_engine engine(opts);
+  std::atomic<int> healthy_evals{0};
+  engine.add_policy("throws", {}, [](const perf::interval&, std::uint64_t) {
+    throw std::runtime_error("bad policy");
+  });
+  engine.add_policy("healthy", {}, [&](const perf::interval&, std::uint64_t) {
+    ++healthy_evals;
+  });
+  engine.start();
+  std::this_thread::sleep_for(20ms);
+  engine.stop();
+  EXPECT_GE(healthy_evals.load(), 2) << "a throwing policy must not kill the engine";
+}
+
+TEST(PolicyEngine, GranularityPolicyCoarsensUnderFloodOfTinyTasks) {
+  thread_manager tm(test_config(4));  // oversubscribed host: high idle-rate
+  grain_tuner tuner(8);
+  std::atomic<std::size_t> latest_chunk{8};
+
+  policy_engine_options opts;
+  opts.period = 10ms;
+  policy_engine engine(opts);
+  engine.add_policy("granularity", granularity_policy_counters(),
+                    make_granularity_policy(tuner, tm.num_workers(),
+                                            [&](std::size_t chunk) {
+                                              latest_chunk = chunk;
+                                            }));
+  engine.start();
+
+  // Flood with tiny tasks for several engine periods.
+  const auto until = std::chrono::steady_clock::now() + 120ms;
+  while (std::chrono::steady_clock::now() < until) {
+    latch done(200);
+    for (int i = 0; i < 200; ++i) tm.spawn([&done] { done.count_down(); });
+    done.wait();
+  }
+  engine.stop();
+
+  EXPECT_GT(latest_chunk.load(), 8u)
+      << "sustained fine-grain overhead must push the chunk upward";
+  EXPECT_GE(engine.ticks(), 3u);
+}
+
+TEST(PolicyEngine, GranularityPolicyIgnoresIdlePeriods) {
+  thread_manager tm(test_config(2));
+  grain_tuner tuner(64);
+  policy_engine_options opts;
+  opts.period = 5ms;
+  policy_engine engine(opts);
+  engine.add_policy("granularity", granularity_policy_counters(),
+                    make_granularity_policy(tuner, tm.num_workers(), nullptr));
+  engine.start();
+  std::this_thread::sleep_for(40ms);  // runtime alive but no tasks at all
+  engine.stop();
+  EXPECT_EQ(tuner.chunk(), 64u) << "no activity must leave the chunk untouched";
+}
+
+TEST(PolicyEngine, RestartableAfterStop) {
+  policy_engine_options opts;
+  opts.period = 3ms;
+  policy_engine engine(opts);
+  std::atomic<int> evals{0};
+  engine.add_policy("p", {}, [&](const perf::interval&, std::uint64_t) { ++evals; });
+  engine.start();
+  std::this_thread::sleep_for(15ms);
+  engine.stop();
+  const int first_round = evals.load();
+  EXPECT_GE(first_round, 1);
+  engine.start();
+  std::this_thread::sleep_for(15ms);
+  engine.stop();
+  EXPECT_GT(evals.load(), first_round);
+}
+
+}  // namespace
+}  // namespace gran::core

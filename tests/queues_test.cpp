@@ -1,0 +1,261 @@
+// Unit + stress tests for src/queues: SPSC ring, Vyukov MPMC, unbounded
+// concurrent FIFO with overflow, and the instrumented dual queue.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "queues/concurrent_fifo.hpp"
+#include "queues/dual_queue.hpp"
+#include "queues/mpmc_bounded.hpp"
+#include "queues/spsc_ring.hpp"
+
+namespace gran {
+namespace {
+
+// --- spsc_ring ---------------------------------------------------------------
+
+TEST(SpscRing, PushPopOrder) {
+  spsc_ring<int> ring(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ring.push(i));
+  for (int i = 0; i < 5; ++i) {
+    auto v = ring.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(ring.pop().has_value());
+}
+
+TEST(SpscRing, FullRejects) {
+  spsc_ring<int> ring(4);
+  std::size_t pushed = 0;
+  while (ring.push(1)) ++pushed;
+  EXPECT_GE(pushed, 4u);  // capacity is rounded up
+  EXPECT_FALSE(ring.push(2));
+  ring.pop();
+  EXPECT_TRUE(ring.push(2));
+}
+
+TEST(SpscRing, WrapAround) {
+  spsc_ring<int> ring(4);
+  for (int round = 0; round < 100; ++round) {
+    ASSERT_TRUE(ring.push(round));
+    auto v = ring.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, round);
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, TwoThreadStress) {
+  spsc_ring<int> ring(64);
+  constexpr int n = 100'000;
+  long long consumer_sum = 0;
+  std::thread consumer([&] {
+    int received = 0;
+    while (received < n) {
+      if (auto v = ring.pop()) {
+        consumer_sum += *v;
+        ++received;
+      }
+    }
+  });
+  for (int i = 0; i < n; ++i)
+    while (!ring.push(i)) {
+    }
+  consumer.join();
+  EXPECT_EQ(consumer_sum, static_cast<long long>(n - 1) * n / 2);
+}
+
+// --- mpmc_bounded --------------------------------------------------------------
+
+TEST(MpmcBounded, FifoOrderSingleThread) {
+  mpmc_bounded<int> q(16);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.push(i));
+  for (int i = 0; i < 10; ++i) {
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(MpmcBounded, CapacityRounding) {
+  mpmc_bounded<int> q(10);
+  EXPECT_EQ(q.capacity(), 16u);
+  mpmc_bounded<int> q2(16);
+  EXPECT_EQ(q2.capacity(), 16u);
+}
+
+TEST(MpmcBounded, FullAndEmpty) {
+  mpmc_bounded<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_FALSE(q.push(99));
+  EXPECT_EQ(q.size_approx(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.pop().has_value());
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_TRUE(q.empty_approx());
+}
+
+struct stress_params {
+  int producers;
+  int consumers;
+};
+
+class MpmcStress : public ::testing::TestWithParam<stress_params> {};
+
+TEST_P(MpmcStress, SumPreserved) {
+  const auto [producers, consumers] = GetParam();
+  mpmc_bounded<int> q(256);
+  constexpr int per_producer = 20'000;
+  std::atomic<long long> consumed_sum{0};
+  std::atomic<int> consumed_count{0};
+  const int total = producers * per_producer;
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p)
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < per_producer; ++i) {
+        const int value = p * per_producer + i;
+        while (!q.push(value)) std::this_thread::yield();
+      }
+    });
+  for (int c = 0; c < consumers; ++c)
+    threads.emplace_back([&] {
+      while (consumed_count.load(std::memory_order_acquire) < total) {
+        if (auto v = q.pop()) {
+          consumed_sum.fetch_add(*v, std::memory_order_relaxed);
+          consumed_count.fetch_add(1, std::memory_order_acq_rel);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(consumed_count.load(), total);
+  EXPECT_EQ(consumed_sum.load(), static_cast<long long>(total - 1) * total / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MpmcStress,
+                         ::testing::Values(stress_params{1, 1}, stress_params{2, 2},
+                                           stress_params{4, 1}, stress_params{1, 4}));
+
+// --- concurrent_fifo ------------------------------------------------------------
+
+TEST(ConcurrentFifo, UnboundedBeyondRing) {
+  concurrent_fifo<int> q(4);  // tiny ring forces overflow
+  for (int i = 0; i < 1000; ++i) q.push(i);
+  EXPECT_EQ(q.size_approx(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i) << "FIFO order must survive overflow migration";
+  }
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(ConcurrentFifo, InterleavedOverflow) {
+  concurrent_fifo<int> q(4);
+  int next_push = 0, next_pop = 0;
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 7; ++i) q.push(next_push++);
+    for (int i = 0; i < 5; ++i) {
+      auto v = q.pop();
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, next_pop++);
+    }
+  }
+  while (auto v = q.pop()) EXPECT_EQ(*v, next_pop++);
+  EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(ConcurrentFifo, MultiThreadedSum) {
+  concurrent_fifo<int> q(64);
+  constexpr int n = 50'000;
+  std::atomic<long long> sum{0};
+  std::atomic<int> count{0};
+  std::thread producer([&] {
+    for (int i = 0; i < n; ++i) q.push(i);
+  });
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c)
+    consumers.emplace_back([&] {
+      while (count.load(std::memory_order_acquire) < n) {
+        if (auto v = q.pop()) {
+          sum.fetch_add(*v, std::memory_order_relaxed);
+          count.fetch_add(1, std::memory_order_acq_rel);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  producer.join();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(sum.load(), static_cast<long long>(n - 1) * n / 2);
+}
+
+
+TEST(MpmcBounded, SequenceWrapsManyGenerations) {
+  // Cycle far beyond the capacity so slot sequence numbers wrap through
+  // multiple generations.
+  mpmc_bounded<int> q(4);
+  for (int gen = 0; gen < 10'000; ++gen) {
+    ASSERT_TRUE(q.push(gen));
+    const auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(*v, gen);
+  }
+}
+
+TEST(ConcurrentFifo, PushAfterDrainReturnsToLockFreePath) {
+  concurrent_fifo<int> q(4);
+  for (int i = 0; i < 100; ++i) q.push(i);   // spills
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(q.pop().has_value());
+  // Fully drained: pushes fit the ring again and order is preserved.
+  for (int i = 0; i < 3; ++i) q.push(i);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(q.pop().value(), i);
+}
+
+// --- dual_queue -------------------------------------------------------------------
+
+TEST(DualQueue, AccessAndMissCounting) {
+  dual_queue<int*, int*> q(16);
+  int a = 1, b = 2;
+
+  EXPECT_FALSE(q.pop_pending().has_value());  // miss
+  q.push_pending(&a);
+  EXPECT_TRUE(q.pop_pending().has_value());  // hit
+  q.push_staged(&b);
+  EXPECT_TRUE(q.pop_staged().has_value());
+  EXPECT_FALSE(q.pop_staged().has_value());
+
+  const auto counts = q.counts();
+  EXPECT_EQ(counts.pending_accesses, 2u);
+  EXPECT_EQ(counts.pending_misses, 1u);
+  EXPECT_EQ(counts.staged_accesses, 2u);
+  EXPECT_EQ(counts.staged_misses, 1u);
+}
+
+TEST(DualQueue, ResetCounts) {
+  dual_queue<int*, int*> q(16);
+  q.pop_pending();
+  q.pop_staged();
+  q.reset_counts();
+  const auto counts = q.counts();
+  EXPECT_EQ(counts.pending_accesses, 0u);
+  EXPECT_EQ(counts.staged_misses, 0u);
+}
+
+TEST(DualQueue, EmptyApprox) {
+  dual_queue<int*, int*> q(16);
+  EXPECT_TRUE(q.empty_approx());
+  int a = 1;
+  q.push_staged(&a);
+  EXPECT_FALSE(q.empty_approx());
+  EXPECT_EQ(q.staged_size_approx(), 1u);
+  EXPECT_EQ(q.pending_size_approx(), 0u);
+}
+
+}  // namespace
+}  // namespace gran

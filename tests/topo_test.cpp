@@ -1,0 +1,111 @@
+// Unit tests for src/topo: topology discovery/synthesis, affinity, and the
+// Table-I platform specifications.
+#include <gtest/gtest.h>
+
+#include "topo/affinity.hpp"
+#include "topo/platform_spec.hpp"
+#include "topo/topology.hpp"
+
+namespace gran {
+namespace {
+
+TEST(Topology, HostIsSane) {
+  const topology& t = topology::host();
+  EXPECT_GE(t.num_cpus(), 1);
+  EXPECT_GE(t.num_numa_nodes(), 1);
+  EXPECT_EQ(static_cast<int>(t.cpus().size()), t.num_cpus());
+  for (const auto& c : t.cpus()) {
+    EXPECT_GE(c.numa_node, 0);
+    EXPECT_LT(c.numa_node, t.num_numa_nodes());
+  }
+}
+
+TEST(Topology, SyntheticEvenSplit) {
+  const topology t = topology::synthetic(8, 2);
+  EXPECT_EQ(t.num_cpus(), 8);
+  EXPECT_EQ(t.num_numa_nodes(), 2);
+  EXPECT_EQ(t.cpus_of_node(0).size(), 4u);
+  EXPECT_EQ(t.cpus_of_node(1).size(), 4u);
+  EXPECT_EQ(t.numa_node_of(0), 0);
+  EXPECT_EQ(t.numa_node_of(7), 1);
+}
+
+TEST(Topology, SyntheticUnevenSplit) {
+  const topology t = topology::synthetic(7, 2);
+  EXPECT_EQ(t.num_cpus(), 7);
+  int total = 0;
+  for (int n = 0; n < t.num_numa_nodes(); ++n)
+    total += static_cast<int>(t.cpus_of_node(n).size());
+  EXPECT_EQ(total, 7);
+}
+
+TEST(Topology, SyntheticSingleNode) {
+  const topology t = topology::synthetic(4, 1);
+  for (int c = 0; c < 4; ++c) EXPECT_EQ(t.numa_node_of(c), 0);
+}
+
+TEST(Topology, FromParts) {
+  std::vector<cpu_info> cpus(2);
+  cpus[0] = {.os_index = 0, .numa_node = 0, .core_id = 0, .package_id = 0};
+  cpus[1] = {.os_index = 1, .numa_node = 1, .core_id = 0, .package_id = 1};
+  std::vector<cache_info> caches{{.level = 1, .type = "Data", .size_bytes = 32768,
+                                  .shared = false}};
+  const topology t = topology::from_parts(cpus, caches, 2);
+  EXPECT_EQ(t.num_cpus(), 2);
+  EXPECT_EQ(t.num_numa_nodes(), 2);
+  ASSERT_EQ(t.caches().size(), 1u);
+  EXPECT_EQ(t.caches()[0].size_bytes, 32768u);
+  EXPECT_EQ(t.cpus_of_node(1), std::vector<int>{1});
+}
+
+TEST(Affinity, PinAndUnpin) {
+  // Pinning to CPU 0 must succeed on any Linux host; restore afterwards.
+  EXPECT_TRUE(pin_current_thread(0));
+  EXPECT_EQ(current_cpu(), 0);
+  EXPECT_TRUE(unpin_current_thread());
+  EXPECT_FALSE(pin_current_thread(-1));
+  EXPECT_FALSE(pin_current_thread(CPU_SETSIZE + 1));
+}
+
+// --- platform specs (Table I data) -----------------------------------------
+
+TEST(PlatformSpec, PaperValues) {
+  const platform_spec& hw = haswell_spec();
+  EXPECT_EQ(hw.cores, 28);
+  EXPECT_DOUBLE_EQ(hw.clock_ghz, 2.3);
+  EXPECT_EQ(hw.shared_cache_mb, 35u);
+  EXPECT_EQ(hw.ram_gb, 128u);
+
+  const platform_spec& phi = xeon_phi_spec();
+  EXPECT_EQ(phi.cores, 61);
+  EXPECT_DOUBLE_EQ(phi.clock_ghz, 1.2);
+  EXPECT_EQ(phi.hardware_threads, 4);
+  EXPECT_EQ(phi.l2_kb, 512u);
+  EXPECT_EQ(phi.ram_gb, 8u);
+
+  const platform_spec& sb = sandy_bridge_spec();
+  EXPECT_EQ(sb.cores, 16);
+  EXPECT_DOUBLE_EQ(sb.clock_ghz, 2.9);
+  EXPECT_EQ(sb.shared_cache_mb, 20u);
+
+  const platform_spec& ib = ivy_bridge_spec();
+  EXPECT_EQ(ib.cores, 20);
+  EXPECT_EQ(ib.ram_gb, 128u);
+}
+
+TEST(PlatformSpec, Lookup) {
+  EXPECT_EQ(paper_platforms().size(), 4u);
+  ASSERT_NE(find_platform("haswell"), nullptr);
+  EXPECT_EQ(find_platform("haswell")->cores, 28);
+  EXPECT_EQ(find_platform("nonexistent"), nullptr);
+}
+
+TEST(PlatformSpec, HostSpec) {
+  const platform_spec host = host_spec();
+  EXPECT_EQ(host.name, "host");
+  EXPECT_GE(host.cores, 1);
+  EXPECT_FALSE(host.processor.empty());
+}
+
+}  // namespace
+}  // namespace gran

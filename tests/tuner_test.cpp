@@ -1,0 +1,130 @@
+// Tests for the adaptive grain-size tuner (core/tuner.hpp).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+
+#include "core/tuner.hpp"
+
+namespace gran::core {
+namespace {
+
+TEST(GrainTuner, GrowsOnOverheadRegime) {
+  grain_tuner t(16);
+  // Moderately high idle-rate with plenty of tasks: coarsen by grow_factor.
+  const std::size_t next = t.update(0.45, /*tasks=*/1000, /*cores=*/4);
+  EXPECT_EQ(next, 32u);
+  EXPECT_EQ(t.chunk(), 32u);
+}
+
+TEST(GrainTuner, GrowsFasterWhenFarAboveWatermark) {
+  grain_tuner t(16);
+  // Deep in the overhead regime (idle >> high_water): squared growth.
+  EXPECT_EQ(t.update(0.9, 1000, 4), 64u);
+}
+
+TEST(GrainTuner, ShrinksOnStarvation) {
+  grain_tuner t(1024);
+  // High idle-rate with fewer tasks than cores: starvation, must refine.
+  const std::size_t next = t.update(0.8, /*tasks=*/3, /*cores=*/8);
+  EXPECT_EQ(next, 512u);
+}
+
+TEST(GrainTuner, HoldsInsideBand) {
+  grain_tuner t(64);
+  EXPECT_EQ(t.update(0.15, 1000, 4), 64u);  // between watermarks
+  EXPECT_EQ(t.update(0.02, 1000, 4), 64u);  // below low water: hold
+}
+
+TEST(GrainTuner, RespectsClamps) {
+  tuner_options opts;
+  opts.min_chunk = 8;
+  opts.max_chunk = 64;
+  grain_tuner t(16, opts);
+  for (int i = 0; i < 10; ++i) t.update(0.9, 1000, 4);
+  EXPECT_EQ(t.chunk(), 64u);
+  for (int i = 0; i < 10; ++i) t.update(0.9, 1, 4);
+  EXPECT_EQ(t.chunk(), 8u);
+}
+
+TEST(GrainTuner, InitialChunkClamped) {
+  tuner_options opts;
+  opts.min_chunk = 32;
+  opts.max_chunk = 128;
+  EXPECT_EQ(grain_tuner(1, opts).chunk(), 32u);
+  EXPECT_EQ(grain_tuner(4096, opts).chunk(), 128u);
+}
+
+TEST(GrainTuner, HistoryRecordsDecisions) {
+  grain_tuner t(16);
+  t.update(0.45, 1000, 4);
+  t.update(0.1, 1000, 4);
+  ASSERT_EQ(t.history().size(), 2u);
+  EXPECT_EQ(t.history()[0].chunk_before, 16u);
+  EXPECT_EQ(t.history()[0].chunk_after, 32u);
+  EXPECT_DOUBLE_EQ(t.history()[1].idle_rate, 0.1);
+  EXPECT_EQ(t.history()[1].chunk_after, 32u);
+}
+
+TEST(GrainTuner, CustomFactors) {
+  tuner_options opts;
+  opts.grow_factor = 4.0;
+  opts.shrink_factor = 0.25;
+  grain_tuner t(64, opts);
+  EXPECT_EQ(t.update(0.5, 1000, 2), 256u);   // single factor
+  EXPECT_EQ(t.update(0.9, 1, 2), 64u);       // starvation shrink
+}
+
+// --- adaptive_chunked_for_each ------------------------------------------------
+
+TEST(AdaptiveForEach, ProcessesEveryItemExactlyOnce) {
+  scheduler_config cfg;
+  cfg.num_workers = 2;
+  cfg.pin_workers = false;
+  thread_manager tm(cfg);
+
+  constexpr std::size_t n = 20'000;
+  std::vector<std::atomic<int>> hits(n);
+  const auto report = adaptive_chunked_for_each(
+      tm, n, /*initial_chunk=*/8, [&hits](std::size_t first, std::size_t last) {
+        for (std::size_t i = first; i < last; ++i)
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+      });
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_EQ(hits[i].load(), 1) << "item " << i;
+  EXPECT_GE(report.waves, 1u);
+  EXPECT_EQ(report.decisions.size(), report.waves);
+  EXPECT_GE(report.final_chunk, 1u);
+}
+
+TEST(AdaptiveForEach, EmptyRange) {
+  scheduler_config cfg;
+  cfg.num_workers = 1;
+  cfg.pin_workers = false;
+  thread_manager tm(cfg);
+  std::atomic<int> calls{0};
+  const auto report = adaptive_chunked_for_each(
+      tm, 0, 8, [&calls](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(report.waves, 0u);
+}
+
+TEST(AdaptiveForEach, GrowsChunkOnTinyTasks) {
+  scheduler_config cfg;
+  cfg.num_workers = 4;  // oversubscribed: scheduling overhead dominates
+  cfg.pin_workers = false;
+  thread_manager tm(cfg);
+  std::atomic<long> sink{0};
+  const auto report = adaptive_chunked_for_each(
+      tm, 200'000, /*initial_chunk=*/4,
+      [&sink](std::size_t first, std::size_t last) {
+        sink.fetch_add(static_cast<long>(last - first), std::memory_order_relaxed);
+      });
+  EXPECT_EQ(sink.load(), 200'000);
+  // Trivial per-item work through tiny chunks must push the tuner upward.
+  EXPECT_GT(report.final_chunk, 4u);
+}
+
+}  // namespace
+}  // namespace gran::core
