@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_steal_order.dir/ablation_steal_order.cpp.o"
+  "CMakeFiles/ablation_steal_order.dir/ablation_steal_order.cpp.o.d"
+  "ablation_steal_order"
+  "ablation_steal_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_steal_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_pending_queue_phi.dir/fig10_pending_queue_phi.cpp.o"
+  "CMakeFiles/fig10_pending_queue_phi.dir/fig10_pending_queue_phi.cpp.o.d"
+  "fig10_pending_queue_phi"
+  "fig10_pending_queue_phi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_pending_queue_phi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_exec_time.dir/fig3_exec_time.cpp.o"
+  "CMakeFiles/fig3_exec_time.dir/fig3_exec_time.cpp.o.d"
+  "fig3_exec_time"
+  "fig3_exec_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_exec_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_idle_rate_haswell.dir/fig4_idle_rate_haswell.cpp.o"
+  "CMakeFiles/fig4_idle_rate_haswell.dir/fig4_idle_rate_haswell.cpp.o.d"
+  "fig4_idle_rate_haswell"
+  "fig4_idle_rate_haswell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_idle_rate_haswell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

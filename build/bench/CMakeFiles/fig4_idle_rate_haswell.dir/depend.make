@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_idle_rate_haswell.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_idle_rate_phi.dir/fig5_idle_rate_phi.cpp.o"
+  "CMakeFiles/fig5_idle_rate_phi.dir/fig5_idle_rate_phi.cpp.o.d"
+  "fig5_idle_rate_phi"
+  "fig5_idle_rate_phi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_idle_rate_phi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

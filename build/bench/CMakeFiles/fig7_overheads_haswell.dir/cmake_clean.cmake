@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_overheads_haswell.dir/fig7_overheads_haswell.cpp.o"
+  "CMakeFiles/fig7_overheads_haswell.dir/fig7_overheads_haswell.cpp.o.d"
+  "fig7_overheads_haswell"
+  "fig7_overheads_haswell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_overheads_haswell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

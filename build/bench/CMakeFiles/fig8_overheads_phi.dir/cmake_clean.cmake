@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_overheads_phi.dir/fig8_overheads_phi.cpp.o"
+  "CMakeFiles/fig8_overheads_phi.dir/fig8_overheads_phi.cpp.o.d"
+  "fig8_overheads_phi"
+  "fig8_overheads_phi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_overheads_phi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_pending_queue_haswell.dir/fig9_pending_queue_haswell.cpp.o"
+  "CMakeFiles/fig9_pending_queue_haswell.dir/fig9_pending_queue_haswell.cpp.o.d"
+  "fig9_pending_queue_haswell"
+  "fig9_pending_queue_haswell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_pending_queue_haswell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

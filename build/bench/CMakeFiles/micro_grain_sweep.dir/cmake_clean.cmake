@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_grain_sweep.dir/micro_grain_sweep.cpp.o"
+  "CMakeFiles/micro_grain_sweep.dir/micro_grain_sweep.cpp.o.d"
+  "micro_grain_sweep"
+  "micro_grain_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_grain_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_tuner.dir/adaptive_tuner.cpp.o"
+  "CMakeFiles/adaptive_tuner.dir/adaptive_tuner.cpp.o.d"
+  "adaptive_tuner"
+  "adaptive_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counter_explorer.dir/counter_explorer.cpp.o"
+  "CMakeFiles/counter_explorer.dir/counter_explorer.cpp.o.d"
+  "counter_explorer"
+  "counter_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counter_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

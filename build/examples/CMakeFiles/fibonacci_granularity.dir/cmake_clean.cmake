@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fibonacci_granularity.dir/fibonacci_granularity.cpp.o"
+  "CMakeFiles/fibonacci_granularity.dir/fibonacci_granularity.cpp.o.d"
+  "fibonacci_granularity"
+  "fibonacci_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fibonacci_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

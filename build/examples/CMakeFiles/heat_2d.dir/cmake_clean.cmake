@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_2d.dir/heat_2d.cpp.o"
+  "CMakeFiles/heat_2d.dir/heat_2d.cpp.o.d"
+  "heat_2d"
+  "heat_2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

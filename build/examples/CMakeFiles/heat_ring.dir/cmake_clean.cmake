@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_ring.dir/heat_ring.cpp.o"
+  "CMakeFiles/heat_ring.dir/heat_ring.cpp.o.d"
+  "heat_ring"
+  "heat_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_dataflow.dir/pipeline_dataflow.cpp.o"
+  "CMakeFiles/pipeline_dataflow.dir/pipeline_dataflow.cpp.o.d"
+  "pipeline_dataflow"
+  "pipeline_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

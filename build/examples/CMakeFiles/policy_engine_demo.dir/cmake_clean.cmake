@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_engine_demo.dir/policy_engine_demo.cpp.o"
+  "CMakeFiles/policy_engine_demo.dir/policy_engine_demo.cpp.o.d"
+  "policy_engine_demo"
+  "policy_engine_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_engine_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_heat_ring "/root/repo/build/examples/heat_ring" "--points=20000" "--partition=500" "--steps=5" "--workers=2")
+set_tests_properties(example_heat_ring PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_heat_2d "/root/repo/build/examples/heat_2d" "--n=64" "--tile=16" "--steps=5" "--workers=2")
+set_tests_properties(example_heat_2d PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fibonacci "/root/repo/build/examples/fibonacci_granularity" "--n=18" "--workers=2")
+set_tests_properties(example_fibonacci PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pipeline "/root/repo/build/examples/pipeline_dataflow" "--items=2000" "--workers=2")
+set_tests_properties(example_pipeline PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_adaptive_tuner "/root/repo/build/examples/adaptive_tuner" "--items=50000" "--workers=2")
+set_tests_properties(example_adaptive_tuner PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_policy_engine "/root/repo/build/examples/policy_engine_demo" "--items-per-wave=50000" "--waves=8" "--workers=2")
+set_tests_properties(example_policy_engine PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_counter_explorer "/root/repo/build/examples/counter_explorer" "--workers=2")
+set_tests_properties(example_counter_explorer PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gran_algo.dir/chunking.cpp.o"
+  "CMakeFiles/gran_algo.dir/chunking.cpp.o.d"
+  "libgran_algo.a"
+  "libgran_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gran_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gran_algo.
+# This may be replaced when dependencies are built.

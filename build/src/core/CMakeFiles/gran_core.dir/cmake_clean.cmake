@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gran_core.dir/experiment.cpp.o"
+  "CMakeFiles/gran_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/gran_core.dir/metrics.cpp.o"
+  "CMakeFiles/gran_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/gran_core.dir/policy_engine.cpp.o"
+  "CMakeFiles/gran_core.dir/policy_engine.cpp.o.d"
+  "CMakeFiles/gran_core.dir/selectors.cpp.o"
+  "CMakeFiles/gran_core.dir/selectors.cpp.o.d"
+  "CMakeFiles/gran_core.dir/tuner.cpp.o"
+  "CMakeFiles/gran_core.dir/tuner.cpp.o.d"
+  "libgran_core.a"
+  "libgran_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gran_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

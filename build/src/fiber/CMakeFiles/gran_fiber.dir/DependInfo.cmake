@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  "ASM"
+  )
+# The set of files for implicit dependencies of each language:
+set(CMAKE_DEPENDS_CHECK_ASM
+  "/root/repo/src/fiber/context_x86_64.S" "/root/repo/build/src/fiber/CMakeFiles/gran_fiber.dir/context_x86_64.S.o"
+  )
+set(CMAKE_ASM_COMPILER_ID "GNU")
+
+# The include file search paths:
+set(CMAKE_ASM_TARGET_INCLUDE_PATH
+  "/root/repo/src"
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fiber/context.cpp" "src/fiber/CMakeFiles/gran_fiber.dir/context.cpp.o" "gcc" "src/fiber/CMakeFiles/gran_fiber.dir/context.cpp.o.d"
+  "/root/repo/src/fiber/fiber.cpp" "src/fiber/CMakeFiles/gran_fiber.dir/fiber.cpp.o" "gcc" "src/fiber/CMakeFiles/gran_fiber.dir/fiber.cpp.o.d"
+  "/root/repo/src/fiber/stack.cpp" "src/fiber/CMakeFiles/gran_fiber.dir/stack.cpp.o" "gcc" "src/fiber/CMakeFiles/gran_fiber.dir/stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gran_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

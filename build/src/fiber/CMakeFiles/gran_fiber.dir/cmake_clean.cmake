@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gran_fiber.dir/context.cpp.o"
+  "CMakeFiles/gran_fiber.dir/context.cpp.o.d"
+  "CMakeFiles/gran_fiber.dir/context_x86_64.S.o"
+  "CMakeFiles/gran_fiber.dir/fiber.cpp.o"
+  "CMakeFiles/gran_fiber.dir/fiber.cpp.o.d"
+  "CMakeFiles/gran_fiber.dir/stack.cpp.o"
+  "CMakeFiles/gran_fiber.dir/stack.cpp.o.d"
+  "libgran_fiber.a"
+  "libgran_fiber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/gran_fiber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/counters.cpp" "src/perf/CMakeFiles/gran_perf.dir/counters.cpp.o" "gcc" "src/perf/CMakeFiles/gran_perf.dir/counters.cpp.o.d"
+  "/root/repo/src/perf/report.cpp" "src/perf/CMakeFiles/gran_perf.dir/report.cpp.o" "gcc" "src/perf/CMakeFiles/gran_perf.dir/report.cpp.o.d"
+  "/root/repo/src/perf/sampler.cpp" "src/perf/CMakeFiles/gran_perf.dir/sampler.cpp.o" "gcc" "src/perf/CMakeFiles/gran_perf.dir/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gran_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gran_perf.dir/counters.cpp.o"
+  "CMakeFiles/gran_perf.dir/counters.cpp.o.d"
+  "CMakeFiles/gran_perf.dir/report.cpp.o"
+  "CMakeFiles/gran_perf.dir/report.cpp.o.d"
+  "CMakeFiles/gran_perf.dir/sampler.cpp.o"
+  "CMakeFiles/gran_perf.dir/sampler.cpp.o.d"
+  "libgran_perf.a"
+  "libgran_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gran_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gran_sim.dir/des.cpp.o"
+  "CMakeFiles/gran_sim.dir/des.cpp.o.d"
+  "CMakeFiles/gran_sim.dir/machine_model.cpp.o"
+  "CMakeFiles/gran_sim.dir/machine_model.cpp.o.d"
+  "libgran_sim.a"
+  "libgran_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gran_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gran_stencil.dir/futurized.cpp.o"
+  "CMakeFiles/gran_stencil.dir/futurized.cpp.o.d"
+  "CMakeFiles/gran_stencil.dir/serial.cpp.o"
+  "CMakeFiles/gran_stencil.dir/serial.cpp.o.d"
+  "libgran_stencil.a"
+  "libgran_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gran_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

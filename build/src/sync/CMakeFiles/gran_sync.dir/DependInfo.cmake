@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sync/barrier.cpp" "src/sync/CMakeFiles/gran_sync.dir/barrier.cpp.o" "gcc" "src/sync/CMakeFiles/gran_sync.dir/barrier.cpp.o.d"
+  "/root/repo/src/sync/condition_variable.cpp" "src/sync/CMakeFiles/gran_sync.dir/condition_variable.cpp.o" "gcc" "src/sync/CMakeFiles/gran_sync.dir/condition_variable.cpp.o.d"
+  "/root/repo/src/sync/event.cpp" "src/sync/CMakeFiles/gran_sync.dir/event.cpp.o" "gcc" "src/sync/CMakeFiles/gran_sync.dir/event.cpp.o.d"
+  "/root/repo/src/sync/latch.cpp" "src/sync/CMakeFiles/gran_sync.dir/latch.cpp.o" "gcc" "src/sync/CMakeFiles/gran_sync.dir/latch.cpp.o.d"
+  "/root/repo/src/sync/mutex.cpp" "src/sync/CMakeFiles/gran_sync.dir/mutex.cpp.o" "gcc" "src/sync/CMakeFiles/gran_sync.dir/mutex.cpp.o.d"
+  "/root/repo/src/sync/semaphore.cpp" "src/sync/CMakeFiles/gran_sync.dir/semaphore.cpp.o" "gcc" "src/sync/CMakeFiles/gran_sync.dir/semaphore.cpp.o.d"
+  "/root/repo/src/sync/timer_service.cpp" "src/sync/CMakeFiles/gran_sync.dir/timer_service.cpp.o" "gcc" "src/sync/CMakeFiles/gran_sync.dir/timer_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/threads/CMakeFiles/gran_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/gran_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/fiber/CMakeFiles/gran_fiber.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/gran_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gran_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gran_sync.dir/barrier.cpp.o"
+  "CMakeFiles/gran_sync.dir/barrier.cpp.o.d"
+  "CMakeFiles/gran_sync.dir/condition_variable.cpp.o"
+  "CMakeFiles/gran_sync.dir/condition_variable.cpp.o.d"
+  "CMakeFiles/gran_sync.dir/event.cpp.o"
+  "CMakeFiles/gran_sync.dir/event.cpp.o.d"
+  "CMakeFiles/gran_sync.dir/latch.cpp.o"
+  "CMakeFiles/gran_sync.dir/latch.cpp.o.d"
+  "CMakeFiles/gran_sync.dir/mutex.cpp.o"
+  "CMakeFiles/gran_sync.dir/mutex.cpp.o.d"
+  "CMakeFiles/gran_sync.dir/semaphore.cpp.o"
+  "CMakeFiles/gran_sync.dir/semaphore.cpp.o.d"
+  "CMakeFiles/gran_sync.dir/timer_service.cpp.o"
+  "CMakeFiles/gran_sync.dir/timer_service.cpp.o.d"
+  "libgran_sync.a"
+  "libgran_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gran_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

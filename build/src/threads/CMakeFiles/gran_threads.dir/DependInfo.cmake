@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/threads/policy.cpp" "src/threads/CMakeFiles/gran_threads.dir/policy.cpp.o" "gcc" "src/threads/CMakeFiles/gran_threads.dir/policy.cpp.o.d"
+  "/root/repo/src/threads/policy_priority_local.cpp" "src/threads/CMakeFiles/gran_threads.dir/policy_priority_local.cpp.o" "gcc" "src/threads/CMakeFiles/gran_threads.dir/policy_priority_local.cpp.o.d"
+  "/root/repo/src/threads/policy_static.cpp" "src/threads/CMakeFiles/gran_threads.dir/policy_static.cpp.o" "gcc" "src/threads/CMakeFiles/gran_threads.dir/policy_static.cpp.o.d"
+  "/root/repo/src/threads/policy_work_stealing.cpp" "src/threads/CMakeFiles/gran_threads.dir/policy_work_stealing.cpp.o" "gcc" "src/threads/CMakeFiles/gran_threads.dir/policy_work_stealing.cpp.o.d"
+  "/root/repo/src/threads/runtime.cpp" "src/threads/CMakeFiles/gran_threads.dir/runtime.cpp.o" "gcc" "src/threads/CMakeFiles/gran_threads.dir/runtime.cpp.o.d"
+  "/root/repo/src/threads/task.cpp" "src/threads/CMakeFiles/gran_threads.dir/task.cpp.o" "gcc" "src/threads/CMakeFiles/gran_threads.dir/task.cpp.o.d"
+  "/root/repo/src/threads/thread_manager.cpp" "src/threads/CMakeFiles/gran_threads.dir/thread_manager.cpp.o" "gcc" "src/threads/CMakeFiles/gran_threads.dir/thread_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gran_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/gran_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/fiber/CMakeFiles/gran_fiber.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/gran_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gran_threads.dir/policy.cpp.o"
+  "CMakeFiles/gran_threads.dir/policy.cpp.o.d"
+  "CMakeFiles/gran_threads.dir/policy_priority_local.cpp.o"
+  "CMakeFiles/gran_threads.dir/policy_priority_local.cpp.o.d"
+  "CMakeFiles/gran_threads.dir/policy_static.cpp.o"
+  "CMakeFiles/gran_threads.dir/policy_static.cpp.o.d"
+  "CMakeFiles/gran_threads.dir/policy_work_stealing.cpp.o"
+  "CMakeFiles/gran_threads.dir/policy_work_stealing.cpp.o.d"
+  "CMakeFiles/gran_threads.dir/runtime.cpp.o"
+  "CMakeFiles/gran_threads.dir/runtime.cpp.o.d"
+  "CMakeFiles/gran_threads.dir/task.cpp.o"
+  "CMakeFiles/gran_threads.dir/task.cpp.o.d"
+  "CMakeFiles/gran_threads.dir/thread_manager.cpp.o"
+  "CMakeFiles/gran_threads.dir/thread_manager.cpp.o.d"
+  "libgran_threads.a"
+  "libgran_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gran_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

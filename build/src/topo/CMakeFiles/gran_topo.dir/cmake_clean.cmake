@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gran_topo.dir/affinity.cpp.o"
+  "CMakeFiles/gran_topo.dir/affinity.cpp.o.d"
+  "CMakeFiles/gran_topo.dir/platform_spec.cpp.o"
+  "CMakeFiles/gran_topo.dir/platform_spec.cpp.o.d"
+  "CMakeFiles/gran_topo.dir/topology.cpp.o"
+  "CMakeFiles/gran_topo.dir/topology.cpp.o.d"
+  "libgran_topo.a"
+  "libgran_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gran_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gran_util.dir/cli.cpp.o"
+  "CMakeFiles/gran_util.dir/cli.cpp.o.d"
+  "CMakeFiles/gran_util.dir/env.cpp.o"
+  "CMakeFiles/gran_util.dir/env.cpp.o.d"
+  "CMakeFiles/gran_util.dir/log.cpp.o"
+  "CMakeFiles/gran_util.dir/log.cpp.o.d"
+  "CMakeFiles/gran_util.dir/stats.cpp.o"
+  "CMakeFiles/gran_util.dir/stats.cpp.o.d"
+  "CMakeFiles/gran_util.dir/table.cpp.o"
+  "CMakeFiles/gran_util.dir/table.cpp.o.d"
+  "CMakeFiles/gran_util.dir/timer.cpp.o"
+  "CMakeFiles/gran_util.dir/timer.cpp.o.d"
+  "libgran_util.a"
+  "libgran_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gran_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

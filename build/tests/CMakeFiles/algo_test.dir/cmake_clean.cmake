@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_test.dir/algo_test.cpp.o"
+  "CMakeFiles/algo_test.dir/algo_test.cpp.o.d"
+  "algo_test"
+  "algo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

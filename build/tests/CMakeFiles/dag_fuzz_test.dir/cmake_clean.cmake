@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_fuzz_test.dir/dag_fuzz_test.cpp.o"
+  "CMakeFiles/dag_fuzz_test.dir/dag_fuzz_test.cpp.o.d"
+  "dag_fuzz_test"
+  "dag_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

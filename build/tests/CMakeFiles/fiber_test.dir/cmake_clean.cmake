@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fiber_test.dir/fiber_test.cpp.o"
+  "CMakeFiles/fiber_test.dir/fiber_test.cpp.o.d"
+  "fiber_test"
+  "fiber_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fiber_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_engine_test.dir/policy_engine_test.cpp.o"
+  "CMakeFiles/policy_engine_test.dir/policy_engine_test.cpp.o.d"
+  "policy_engine_test"
+  "policy_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

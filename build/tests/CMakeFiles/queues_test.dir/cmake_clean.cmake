@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queues_test.dir/queues_test.cpp.o"
+  "CMakeFiles/queues_test.dir/queues_test.cpp.o.d"
+  "queues_test"
+  "queues_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queues_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_test.dir/stencil_test.cpp.o"
+  "CMakeFiles/stencil_test.dir/stencil_test.cpp.o.d"
+  "stencil_test"
+  "stencil_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_test.dir/sync_test.cpp.o"
+  "CMakeFiles/sync_test.dir/sync_test.cpp.o.d"
+  "sync_test"
+  "sync_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

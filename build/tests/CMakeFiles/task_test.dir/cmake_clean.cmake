@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_test.dir/task_test.cpp.o"
+  "CMakeFiles/task_test.dir/task_test.cpp.o.d"
+  "task_test"
+  "task_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_manager_test.dir/thread_manager_test.cpp.o"
+  "CMakeFiles/thread_manager_test.dir/thread_manager_test.cpp.o.d"
+  "thread_manager_test"
+  "thread_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

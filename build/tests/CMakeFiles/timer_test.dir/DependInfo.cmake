@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/timer_test.cpp" "tests/CMakeFiles/timer_test.dir/timer_test.cpp.o" "gcc" "tests/CMakeFiles/timer_test.dir/timer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gran_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/gran_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gran_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stencil/CMakeFiles/gran_stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/gran_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/threads/CMakeFiles/gran_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/fiber/CMakeFiles/gran_fiber.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/gran_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/gran_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gran_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

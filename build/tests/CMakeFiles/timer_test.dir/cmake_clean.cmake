@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timer_test.dir/timer_test.cpp.o"
+  "CMakeFiles/timer_test.dir/timer_test.cpp.o.d"
+  "timer_test"
+  "timer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

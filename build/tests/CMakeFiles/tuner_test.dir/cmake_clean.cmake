@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuner_test.dir/tuner_test.cpp.o"
+  "CMakeFiles/tuner_test.dir/tuner_test.cpp.o.d"
+  "tuner_test"
+  "tuner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

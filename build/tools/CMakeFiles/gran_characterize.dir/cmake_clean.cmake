@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gran_characterize.dir/gran_characterize.cpp.o"
+  "CMakeFiles/gran_characterize.dir/gran_characterize.cpp.o.d"
+  "gran_characterize"
+  "gran_characterize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gran_characterize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_characterize_sim "/root/repo/build/tools/gran_characterize" "--mode=sim" "--platform=haswell" "--workers=8" "--points=200000" "--steps=5" "--samples=1")
+set_tests_properties(tool_characterize_sim PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_characterize_native "/root/repo/build/tools/gran_characterize" "--workers=2" "--points=50000" "--steps=5" "--samples=1" "--min-partition=500")
+set_tests_properties(tool_characterize_native PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
