@@ -1,0 +1,187 @@
+// A/B micro-benchmark for the scheduler's work-stealing deque: the lock-free
+// Chase–Lev implementation (src/queues/chase_lev_deque.hpp) against the old
+// mutex-protected std::deque it replaced (kept here, verbatim in spirit, as
+// the baseline).
+//
+// Two measurements per implementation:
+//   * owner: single-thread push/pop round-trips — the policy's hot path when
+//     a worker spawns and immediately executes fine-grained tasks;
+//   * steal: one owner continuously pushing while N thieves steal — the
+//     contended path that sets fine-grain scalability.
+//
+//   --impl=chaselev|mutex|both   which deque(s) to run (default both)
+//   --ops=N                      owner push/pop round-trips (default 5e6)
+//   --steal-ms=N                 duration of each steal phase (default 300)
+//   --thieves=a,b,c              thief counts (default 1,2,4)
+//   --json=PATH                  append machine-readable results
+#include <atomic>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "queues/chase_lev_deque.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace gran;
+
+namespace {
+
+// The pre-Chase–Lev deque_slot of work_stealing_policy: every operation
+// takes the mutex.
+class locked_deque {
+ public:
+  void push(std::uint64_t v) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    items_.push_back(v);
+  }
+  std::optional<std::uint64_t> pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    std::uint64_t v = items_.back();
+    items_.pop_back();
+    return v;
+  }
+  std::optional<std::uint64_t> steal() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    std::uint64_t v = items_.front();
+    items_.pop_front();
+    return v;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::deque<std::uint64_t> items_;
+};
+
+struct result_row {
+  std::string impl;
+  std::string mode;  // "owner" or "steal"
+  int thieves = 0;
+  double mops = 0;  // successful operations per second, millions
+};
+
+// Owner-side: interleaved push/pop in batches of 8, like a worker spawning a
+// burst of children and draining them LIFO.
+template <typename Deque>
+double owner_throughput(Deque& d, std::uint64_t ops) {
+  stopwatch clock;
+  std::uint64_t done = 0;
+  while (done < ops) {
+    for (int i = 0; i < 8; ++i) d.push(done + static_cast<std::uint64_t>(i));
+    for (int i = 0; i < 8; ++i) (void)d.pop();
+    done += 8;
+  }
+  const double s = clock.elapsed_s();
+  // One round-trip = push + pop = 2 queue operations.
+  return static_cast<double>(2 * done) / s / 1e6;
+}
+
+// Steal-side: the owner pushes (and occasionally pops) for `ms`; thieves
+// hammer steal(). Reported rate counts successful steals only.
+template <typename Deque>
+double steal_throughput(Deque& d, int thieves, int ms) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> steals{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(thieves));
+  for (int t = 0; t < thieves; ++t)
+    pool.emplace_back([&] {
+      std::uint64_t n = 0;
+      while (!stop.load(std::memory_order_acquire))
+        if (d.steal()) ++n;
+      steals.fetch_add(n, std::memory_order_relaxed);
+    });
+
+  stopwatch clock;
+  std::uint64_t pushed = 0;
+  while (clock.elapsed_s() * 1e3 < ms) {
+    for (int i = 0; i < 64; ++i) d.push(pushed++);
+    for (int i = 0; i < 8; ++i) (void)d.pop();  // owner stays in the mix
+  }
+  const double s = clock.elapsed_s();
+  stop.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+  while (d.pop()) {  // drain
+  }
+  return static_cast<double>(steals.load()) / s / 1e6;
+}
+
+template <typename Deque>
+void run_impl(const std::string& name, std::uint64_t ops, int steal_ms,
+              const std::vector<std::int64_t>& thieves,
+              std::vector<result_row>& out) {
+  {
+    Deque d;
+    out.push_back({name, "owner", 0, owner_throughput(d, ops)});
+  }
+  for (const std::int64_t t : thieves) {
+    Deque d;
+    out.push_back(
+        {name, "steal", static_cast<int>(t),
+         steal_throughput(d, static_cast<int>(t), steal_ms)});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cli_args args(argc, argv);
+  const std::string impl = args.get("impl", "both");
+  const auto ops = static_cast<std::uint64_t>(args.get_int("ops", 5'000'000));
+  const int steal_ms = static_cast<int>(args.get_int("steal-ms", 300));
+  const std::vector<std::int64_t> thieves =
+      args.get_int_list("thieves", {1, 2, 4});
+
+  std::cout << "Steal-deque throughput: Chase-Lev (lock-free) vs mutex deque\n";
+  std::vector<result_row> rows;
+  if (impl == "chaselev" || impl == "both")
+    run_impl<chase_lev_deque<std::uint64_t>>("chaselev", ops, steal_ms, thieves,
+                                             rows);
+  if (impl == "mutex" || impl == "both")
+    run_impl<locked_deque>("mutex", ops, steal_ms, thieves, rows);
+  if (rows.empty()) {
+    std::cerr << "unknown --impl=" << impl << " (chaselev|mutex|both)\n";
+    return 2;
+  }
+
+  table_writer table({"impl", "mode", "thieves", "Mops/s"});
+  for (const auto& r : rows)
+    table.add_row({r.impl, r.mode, std::to_string(r.thieves),
+                   format_number(r.mops, 2)});
+  table.print(std::cout);
+
+  // Headline ratio for the acceptance gate: owner-side speedup.
+  double owner_cl = 0, owner_mx = 0;
+  for (const auto& r : rows) {
+    if (r.mode != "owner") continue;
+    if (r.impl == "chaselev") owner_cl = r.mops;
+    if (r.impl == "mutex") owner_mx = r.mops;
+  }
+  if (owner_cl > 0 && owner_mx > 0)
+    std::cout << "owner-side speedup (chaselev / mutex): "
+              << format_number(owner_cl / owner_mx, 2) << "x\n";
+
+  const std::string json = args.get("json", "");
+  if (!json.empty()) {
+    std::ofstream f(json);
+    f << "{\n  \"bench\": \"micro_steal_throughput\",\n  \"ops\": " << ops
+      << ",\n  \"steal_ms\": " << steal_ms << ",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      f << "    {\"impl\": \"" << r.impl << "\", \"mode\": \"" << r.mode
+        << "\", \"thieves\": " << r.thieves << ", \"mops\": " << r.mops << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    f << "  ]\n}\n";
+    std::cout << "(json written to " << json << ")\n";
+  }
+  return 0;
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Records the steal-deque throughput baseline (Chase-Lev vs mutex deque) into
+# results/BENCH_steal.json, building the bench if needed.
+#
+#   scripts/bench_steal_baseline.sh [--ops=N] [--thieves=a,b,c] ...
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j --target micro_steal_throughput >/dev/null
+
+mkdir -p results
+./build/bench/micro_steal_throughput --json=results/BENCH_steal.json "$@" \
+  | tee results/micro_steal_throughput.txt

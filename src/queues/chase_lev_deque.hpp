@@ -1,0 +1,168 @@
+// Lock-free Chase–Lev work-stealing deque with dynamic circular-array growth.
+//
+// Chase & Lev, "Dynamic Circular Work-Stealing Deque" (SPAA 2005), with the
+// C11 memory orderings of Lê, Pop, Cohen & Zappa Nardelli, "Correct and
+// Efficient Work-Stealing for Weak Memory Models" (PPoPP 2013).
+//
+// One owner thread pushes and pops at the *bottom*; any number of thief
+// threads steal from the *top*:
+//   * push:  no CAS, one release store of `bottom` — a handful of ns;
+//   * pop:   no CAS on the common path; a single seq_cst CAS only when
+//            racing thieves for the last element;
+//   * steal: one seq_cst CAS per successful (or contended) attempt.
+//
+// The ring grows geometrically when full, so a push never fails and no task
+// is ever dropped. Retired rings are kept on a chain until the deque is
+// destroyed: a thief may still hold a pointer to an old ring, and the chain
+// (≤ 2× the largest ring, summed) is the simplest safe reclamation. See
+// DESIGN.md §5 "Chase–Lev memory ordering" for the fence argument.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "util/assert.hpp"
+#include "util/cacheline.hpp"
+
+namespace gran {
+
+template <typename T>
+class chase_lev_deque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "slots are relaxed atomics; T must be trivially copyable");
+
+ public:
+  explicit chase_lev_deque(std::size_t initial_capacity = 256)
+      : array_(ring::make(std::bit_ceil(initial_capacity < 2 ? 2 : initial_capacity),
+                          nullptr)) {}
+
+  chase_lev_deque(const chase_lev_deque&) = delete;
+  chase_lev_deque& operator=(const chase_lev_deque&) = delete;
+
+  ~chase_lev_deque() {
+    ring* a = array_.load(std::memory_order_relaxed);
+    while (a != nullptr) {
+      ring* prev = a->retired;
+      ring::destroy(a);
+      a = prev;
+    }
+  }
+
+  // Owner only. Never fails: grows the ring when full.
+  void push(T value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    ring* a = array_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(a->capacity) - 1) a = grow(a, t, b);
+    a->put(b, value);
+    // Publish the slot before the new bottom so a thief that reads the
+    // incremented bottom also sees the element.
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  // Owner only. LIFO pop from the bottom.
+  std::optional<T> pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    ring* a = array_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    // The seq_cst fence orders the bottom store before the top load: either
+    // this pop sees a concurrent thief's top increment, or the thief sees
+    // the decremented bottom and aborts — never both taking the same slot.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {  // already empty
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    T value = a->get(b);
+    if (t == b) {
+      // Last element: race thieves for it with one CAS.
+      const bool won = top_.compare_exchange_strong(
+          t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      if (!won) return std::nullopt;
+    }
+    return value;
+  }
+
+  // Thieves (any thread). FIFO steal from the top. Empty optional when the
+  // deque looks empty or the attempt lost a race (the caller treats both as
+  // a probe miss and moves on to the next victim).
+  std::optional<T> steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    // Order the top load before the bottom load (see pop()'s fence).
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return std::nullopt;
+    // The acquire load of array_ pairs with grow()'s release store, so the
+    // copied slots are visible before the new ring is used.
+    ring* a = array_.load(std::memory_order_acquire);
+    T value = a->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+      return std::nullopt;  // lost to the owner or another thief
+    return value;
+  }
+
+  // Approximate: exact for the owner, racy-but-monotone hints for others.
+  bool empty_approx() const {
+    return bottom_.load(std::memory_order_relaxed) -
+               top_.load(std::memory_order_relaxed) <=
+           0;
+  }
+  std::size_t size_approx() const {
+    const std::int64_t d = bottom_.load(std::memory_order_relaxed) -
+                           top_.load(std::memory_order_relaxed);
+    return d > 0 ? static_cast<std::size_t>(d) : 0;
+  }
+  std::size_t capacity() const {
+    return array_.load(std::memory_order_relaxed)->capacity;
+  }
+
+ private:
+  struct ring {
+    std::size_t capacity;  // power of two
+    std::size_t mask;
+    ring* retired;  // previous (smaller) ring, freed with the deque
+    std::atomic<T> slots[1];  // flexible tail, allocated with the header
+
+    static ring* make(std::size_t capacity, ring* retired) {
+      const std::size_t bytes =
+          sizeof(ring) + (capacity - 1) * sizeof(std::atomic<T>);
+      ring* r = static_cast<ring*>(::operator new(bytes));
+      r->capacity = capacity;
+      r->mask = capacity - 1;
+      r->retired = retired;
+      for (std::size_t i = 0; i < capacity; ++i)
+        new (&r->slots[i]) std::atomic<T>();
+      return r;
+    }
+    static void destroy(ring* r) { ::operator delete(r); }
+
+    T get(std::int64_t i) const {
+      return slots[static_cast<std::size_t>(i) & mask].load(
+          std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, T v) {
+      slots[static_cast<std::size_t>(i) & mask].store(v,
+                                                      std::memory_order_relaxed);
+    }
+  };
+
+  // Owner only: doubles the ring, copying the live range [top, bottom).
+  ring* grow(ring* a, std::int64_t t, std::int64_t b) {
+    ring* bigger = ring::make(a->capacity * 2, a);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, a->get(i));
+    array_.store(bigger, std::memory_order_release);
+    return bigger;
+  }
+
+  alignas(cache_line_size) std::atomic<std::int64_t> top_{0};
+  alignas(cache_line_size) std::atomic<std::int64_t> bottom_{0};
+  alignas(cache_line_size) std::atomic<ring*> array_;
+};
+
+}  // namespace gran

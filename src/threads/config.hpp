@@ -35,8 +35,17 @@ struct scheduler_config {
 
   // Spins before an idle worker starts OS-yielding.
   unsigned idle_spin_limit = 64;
-  // Consecutive fruitless probes before an idle worker briefly sleeps.
+  // Consecutive fruitless probes before an idle worker parks (or, with
+  // idle_park = false, falls back to a fixed 50 µs sleep).
   unsigned idle_yield_limit = 256;
+
+  // Event-based idle parking: starved workers block on a condition variable
+  // and are woken by the next enqueue, instead of polling on a fixed sleep.
+  // Cuts wakeup latency at fine grain and idle-spin waste at coarse grain.
+  bool idle_park = true;
+  // Upper bound on one parked wait, µs — a safety net so a worker re-probes
+  // even if every wakeup were lost; not the normal wakeup path.
+  unsigned idle_park_us = 2000;
 
   // Fiber stack size in bytes; 0 = stack_pool::default_stack_size().
   std::size_t stack_size = 0;

@@ -1,79 +1,88 @@
 #include "threads/policy_work_stealing.hpp"
 
+#include "threads/task.hpp"
 #include "threads/thread_manager.hpp"
+#include "util/assert.hpp"
 
 namespace gran {
 
 void work_stealing_policy::init(thread_manager& tm) {
+  num_workers_ = tm.num_workers();
   deques_.clear();
-  deques_.reserve(static_cast<std::size_t>(tm.num_workers()));
-  for (int w = 0; w < tm.num_workers(); ++w)
+  deques_.reserve(static_cast<std::size_t>(num_workers_));
+  for (int w = 0; w < num_workers_; ++w)
     deques_.push_back(std::make_unique<deque_slot>());
 }
 
-void work_stealing_policy::push(thread_manager& tm, int target, task* t, bool back) {
+void work_stealing_policy::push_remote(thread_manager& tm, int target, task* t) {
   // This policy has no staged stage: attach the context right away.
   if (!t->has_context()) tm.convert(t);
-  deque_slot& d = *deques_[static_cast<std::size_t>(target)];
-  std::lock_guard<std::mutex> lock(d.mutex);
-  if (back)
-    d.items.push_back(t);
-  else
-    d.items.push_front(t);
+  deques_[static_cast<std::size_t>(target)]->inbox.push(t);
 }
 
 void work_stealing_policy::enqueue_new(thread_manager& tm, int home, task* t) {
+  if (home >= 0) {
+    // `home` is by contract the calling worker — the only thread allowed to
+    // push the bottom of its Chase–Lev deque.
+    GRAN_DEBUG_ASSERT(home == thread_manager::current_worker());
+    if (!t->has_context()) tm.convert(t);
+    deques_[static_cast<std::size_t>(home)]->deque.push(t);
+    return;
+  }
   const int target =
-      home >= 0 ? home
-                : static_cast<int>(rr_.fetch_add(1, std::memory_order_relaxed) %
-                                   static_cast<std::uint64_t>(tm.num_workers()));
-  push(tm, target, t, /*back=*/true);
+      static_cast<int>(rr_.fetch_add(1, std::memory_order_relaxed) %
+                       static_cast<std::uint64_t>(num_workers_));
+  push_remote(tm, target, t);
 }
 
 void work_stealing_policy::enqueue_ready(thread_manager& tm, int home, task* t) {
-  int target = home;
-  if (target < 0) target = t->last_worker();
-  if (target < 0)
+  if (home >= 0) {
+    GRAN_DEBUG_ASSERT(home == thread_manager::current_worker());
+    if (!t->has_context()) tm.convert(t);
+    deques_[static_cast<std::size_t>(home)]->deque.push(t);
+    return;
+  }
+  // External wake: prefer the task's previous worker (warm caches), but only
+  // if it is a valid index under the *current* worker count.
+  int target = t->last_worker();
+  if (target < 0 || target >= num_workers_)
     target = static_cast<int>(rr_.fetch_add(1, std::memory_order_relaxed) %
-                              static_cast<std::uint64_t>(tm.num_workers()));
-  push(tm, target, t, /*back=*/true);
-}
-
-task* work_stealing_policy::pop_back(int w) {
-  deque_slot& d = *deques_[static_cast<std::size_t>(w)];
-  std::lock_guard<std::mutex> lock(d.mutex);
-  if (d.items.empty()) return nullptr;
-  task* t = d.items.back();
-  d.items.pop_back();
-  return t;
-}
-
-task* work_stealing_policy::steal_front(int victim) {
-  deque_slot& d = *deques_[static_cast<std::size_t>(victim)];
-  std::lock_guard<std::mutex> lock(d.mutex);
-  if (d.items.empty()) return nullptr;
-  task* t = d.items.front();
-  d.items.pop_front();
-  return t;
+                              static_cast<std::uint64_t>(num_workers_));
+  push_remote(tm, target, t);
 }
 
 task* work_stealing_policy::get_next(thread_manager& tm, int w) {
   worker_counters& c = tm.worker(w).counters;
+  deque_slot& mine = *deques_[static_cast<std::size_t>(w)];
 
   // Owner side: LIFO pop. Counted as a pending-queue access so the paper's
   // queue metrics remain comparable across policies.
   c.extra_pending_accesses.fetch_add(1, std::memory_order_relaxed);
-  if (task* t = pop_back(w)) return t;
+  if (auto t = mine.deque.pop()) return *t;
   c.extra_pending_misses.fetch_add(1, std::memory_order_relaxed);
 
-  // Thief side: ring order over all other workers.
-  const int n = tm.num_workers();
+  // Cross-worker hand-offs addressed to this worker.
+  c.extra_pending_accesses.fetch_add(1, std::memory_order_relaxed);
+  if (auto t = mine.inbox.pop()) return *t;
+  c.extra_pending_misses.fetch_add(1, std::memory_order_relaxed);
+
+  // Thief side: ring order over all other workers. One probe (one counted
+  // access) per steal attempt, regardless of internal CAS retries; a victim
+  // whose deque is dry gets a second probe into its inbox.
+  const int n = num_workers_;
   for (int k = 1; k < n; ++k) {
     const int victim = (w + k) % n;
+    deque_slot& v = *deques_[static_cast<std::size_t>(victim)];
     c.extra_pending_accesses.fetch_add(1, std::memory_order_relaxed);
-    if (task* t = steal_front(victim)) {
+    if (auto t = v.deque.steal()) {
       c.tasks_stolen.fetch_add(1, std::memory_order_relaxed);
-      return t;
+      return *t;
+    }
+    c.extra_pending_misses.fetch_add(1, std::memory_order_relaxed);
+    c.extra_pending_accesses.fetch_add(1, std::memory_order_relaxed);
+    if (auto t = v.inbox.pop()) {
+      c.tasks_stolen.fetch_add(1, std::memory_order_relaxed);
+      return *t;
     }
     c.extra_pending_misses.fetch_add(1, std::memory_order_relaxed);
   }
@@ -88,10 +97,11 @@ task* work_stealing_policy::get_next(thread_manager& tm, int w) {
 }
 
 bool work_stealing_policy::queues_empty(const thread_manager& tm) const {
-  for (const auto& d : deques_) {
-    std::lock_guard<std::mutex> lock(d->mutex);
-    if (!d->items.empty()) return false;
-  }
+  // Lock-free bottom/top scan — no mutex per worker as the old
+  // implementation had. empty_approx is conservative for the shutdown and
+  // parking protocols: a concurrent push is caught by the enqueuer's wakeup.
+  for (const auto& d : deques_)
+    if (!d->deque.empty_approx() || !d->inbox.empty_approx()) return false;
   return tm.low_priority_queue().empty_approx();
 }
 

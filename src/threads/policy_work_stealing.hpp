@@ -1,6 +1,14 @@
-// Work-stealing-LIFO policy (Cilk-style): each worker owns a deque; the
-// owner pushes and pops at the back (LIFO — depth-first, cache-friendly),
-// thieves steal from the front (FIFO — breadth-first, big chunks of work).
+// Work-stealing-LIFO policy (Cilk-style): each worker owns a lock-free
+// Chase–Lev deque; the owner pushes and pops at the bottom (LIFO —
+// depth-first, cache-friendly), thieves steal from the top (FIFO —
+// breadth-first, big chunks of work).
+//
+// Only the owner may touch the bottom of a Chase–Lev deque, so enqueues
+// from outside the target worker (external spawns, wakes landing on another
+// worker's `last_worker`) go through a per-worker lock-free MPMC *inbox*
+// (concurrent_fifo) instead; the owner and thieves both drain inboxes when
+// the deques run dry. On-worker spawns and wakes — the hot path at fine
+// granularity — take the no-CAS owner push.
 //
 // Differences from the paper's priority-local-FIFO, on purpose:
 //   * no staged stage — tasks receive their context at spawn time, so the
@@ -11,14 +19,17 @@
 #pragma once
 
 #include <atomic>
-#include <deque>
-#include <mutex>
+#include <memory>
 #include <vector>
 
+#include "queues/chase_lev_deque.hpp"
+#include "queues/concurrent_fifo.hpp"
 #include "threads/policy.hpp"
 #include "util/cacheline.hpp"
 
 namespace gran {
+
+class task;
 
 class work_stealing_policy final : public scheduling_policy {
  public:
@@ -31,15 +42,16 @@ class work_stealing_policy final : public scheduling_policy {
 
  private:
   struct alignas(cache_line_size) deque_slot {
-    mutable std::mutex mutex;
-    std::deque<task*> items;
+    chase_lev_deque<task*> deque{256};
+    // Cross-worker hand-off lane; lock-free unless it overflows.
+    concurrent_fifo<task*> inbox{256};
   };
 
-  void push(thread_manager& tm, int target, task* t, bool back);
-  task* pop_back(int w);
-  task* steal_front(int victim);
+  // Routes a task enqueued from outside worker `target` into its inbox.
+  void push_remote(thread_manager& tm, int target, task* t);
 
   std::vector<std::unique_ptr<deque_slot>> deques_;
+  int num_workers_ = 0;  // cached in init(); tm's count never changes after
   std::atomic<std::uint64_t> rr_{0};
 };
 

@@ -87,6 +87,7 @@ std::uint64_t thread_manager::spawn(task::body_fn body, task_priority priority,
   tasks_alive_.fetch_add(1, std::memory_order_acq_rel);
   const int home = tl_manager == this ? tl_worker : -1;
   policy_->enqueue_new(*this, home, t);
+  notify_work();
   return id;
 }
 
@@ -103,6 +104,7 @@ void thread_manager::schedule_ready(task* t) {
   GRAN_DEBUG_ASSERT(t->state() == task_state::pending);
   const int home = tl_manager == this ? tl_worker : -1;
   policy_->enqueue_ready(*this, home, t);
+  notify_work();
 }
 
 void thread_manager::convert(task* t) {
@@ -128,6 +130,7 @@ void thread_manager::stop() {
   bool expected = true;
   if (!running_.compare_exchange_strong(expected, false, std::memory_order_acq_rel))
     return;  // already stopped
+  notify_work(/*all=*/true);  // release parked workers so they observe stop
   for (auto& th : threads_)
     if (th.joinable()) th.join();
   threads_.clear();
@@ -150,7 +153,7 @@ void thread_manager::worker_main(int w) {
 
   worker_data& me = worker(w);
   std::uint64_t stamp = tsc_clock::now();
-  unsigned idle_streak = 0;
+  idle_backoff idler(cfg_.idle_spin_limit, cfg_.idle_yield_limit);
 
   const auto accumulate_func = [&] {
     const std::uint64_t now = tsc_clock::now();
@@ -162,7 +165,7 @@ void thread_manager::worker_main(int w) {
     task* t = policy_->get_next(*this, w);
     accumulate_func();
     if (t != nullptr) {
-      idle_streak = 0;
+      idler.reset();
       run_phase(w, t);
       accumulate_func();
       continue;
@@ -174,21 +177,60 @@ void thread_manager::worker_main(int w) {
         tasks_alive_.load(std::memory_order_acquire) == 0)
       break;
 
-    ++idle_streak;
-    if (idle_streak < cfg_.idle_spin_limit) {
-      cpu_relax();
-    } else if (idle_streak < cfg_.idle_yield_limit) {
-      std::this_thread::yield();
-    } else {
-      // Long starvation: sleep briefly. The sleep still counts into
-      // Σt_func, which is what makes starvation visible as idle-rate.
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    // Long starvation escalates spin -> yield -> park. Parked (or slept)
+    // time still counts into Σt_func, which is what makes starvation
+    // visible as idle-rate.
+    if (idler.pause()) {
+      if (cfg_.idle_park)
+        park_idle();
+      else
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
     }
     accumulate_func();
   }
 
   tl_manager = nullptr;
   tl_worker = -1;
+}
+
+void thread_manager::notify_work(bool all) {
+  // Publish-then-check: the enqueue's stores must be ordered before the
+  // sleeper-count load (x86-TSO reorders store->load, hence the fence).
+  // Pairs with the seq_cst sleeper registration in park_idle.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (sleepers_.load(std::memory_order_relaxed) == 0) return;  // fast path
+  {
+    std::lock_guard<std::mutex> lock(park_mutex_);
+    ++park_epoch_;
+  }
+  if (all)
+    park_cv_.notify_all();
+  else
+    park_cv_.notify_one();
+}
+
+bool thread_manager::park_idle() {
+  sleepers_.fetch_add(1, std::memory_order_seq_cst);
+  bool parked = false;
+  {
+    std::unique_lock<std::mutex> lock(park_mutex_);
+    // Re-probe under the lock, after registering as a sleeper: any enqueue
+    // that our caller's fruitless search missed either bumped park_epoch_
+    // before we read it (producer unlocked first, so its push is visible
+    // here) or will see sleepers_ > 0 and signal us. Either way no wakeup
+    // is lost; idle_park_us bounds the damage of the impossible case.
+    if (running_.load(std::memory_order_acquire) && policy_->queues_empty(*this)) {
+      const std::uint64_t observed = park_epoch_;
+      parked = true;
+      park_cv_.wait_for(lock, std::chrono::microseconds(cfg_.idle_park_us),
+                        [&] {
+                          return park_epoch_ != observed ||
+                                 !running_.load(std::memory_order_acquire);
+                        });
+    }
+  }
+  sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+  return parked;
 }
 
 void thread_manager::run_phase(int w, task* t) {

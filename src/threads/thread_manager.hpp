@@ -12,7 +12,9 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -133,6 +135,18 @@ class thread_manager {
   // yield re-queueing, and suspension finalization.
   void run_phase(int w, task* t);
 
+  // --- event-based idle parking ------------------------------------------
+  // Starved workers park on a condition variable; every enqueue signals it.
+  // The sleeper count lets producers skip the mutex entirely when nobody is
+  // parked (the common case under load). Missed-wakeup freedom: a worker
+  // registers as a sleeper with a seq_cst RMW, *then* re-probes the queues;
+  // a producer publishes its push, issues a seq_cst fence, *then* reads the
+  // sleeper count — one of the two must observe the other (Dekker).
+  void notify_work(bool all = false);
+  // Parks the calling worker for at most cfg_.idle_park_us. Returns false
+  // when the re-probe found work and the park was skipped.
+  bool park_idle();
+
   scheduler_config cfg_;
   std::unique_ptr<scheduling_policy> policy_;
   std::vector<std::unique_ptr<worker_data>> workers_;
@@ -146,6 +160,11 @@ class thread_manager {
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> tasks_alive_{0};
   std::atomic<std::uint64_t> next_home_{0};  // round-robin for external spawns
+
+  alignas(cache_line_size) std::atomic<int> sleepers_{0};
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+  std::uint64_t park_epoch_ = 0;  // guarded by park_mutex_; bumped per wakeup
 };
 
 // --- API available inside tasks -------------------------------------------

@@ -46,4 +46,36 @@ class backoff {
   std::uint32_t spin_limit_;
 };
 
+// Idle-worker escalation: spin with pause hints, then OS-yield, then tell
+// the caller to park (block on its wakeup primitive). Unlike `backoff`, the
+// two thresholds are configurable so the scheduler's idle_spin_limit /
+// idle_yield_limit knobs map onto it directly.
+class idle_backoff {
+ public:
+  idle_backoff(std::uint32_t spin_limit, std::uint32_t yield_limit) noexcept
+      : spin_limit_(spin_limit), yield_limit_(yield_limit) {}
+
+  // One escalation step. Returns true once the caller should park.
+  bool pause() noexcept {
+    ++streak_;
+    if (streak_ <= spin_limit_) {
+      cpu_relax();
+      return false;
+    }
+    if (streak_ <= yield_limit_) {
+      std::this_thread::yield();
+      return false;
+    }
+    return true;
+  }
+
+  void reset() noexcept { streak_ = 0; }
+  std::uint32_t streak() const noexcept { return streak_; }
+
+ private:
+  std::uint32_t streak_ = 0;
+  std::uint32_t spin_limit_;
+  std::uint32_t yield_limit_;
+};
+
 }  // namespace gran
