@@ -16,6 +16,7 @@ using namespace gran::bench;
 
 int main(int argc, char** argv) {
   const cli_args args(argc, argv);
+  perf::observability_session obs(bench::observability_options(args));
   const fig_options opt = parse_fig_options(args);
 
   std::cout << "Fig. 7: HPX-Thread Management (TM) and Wait Time (WT), Haswell\n";

@@ -13,6 +13,13 @@
 //   --full                  paper-scale workload (100 M points)
 //   --csv=PREFIX            also write PREFIX<tag>.csv per series
 //   --quiet                 suppress progress lines
+//
+// plus the observability knobs (native mode; see docs/TRACING.md):
+//   --trace-out=PATH         export a Chrome/Perfetto trace of the run
+//   --trace-buf=N            per-worker trace ring capacity, events
+//   --sample-interval-us=N   background counter sampling period (>0 = on)
+//   --sample-out=PATH        time-series dump (.csv or .json)
+//   --sample-set=P1,P2       counter prefixes to sample (default /threads)
 #pragma once
 
 #include <cstdio>
@@ -23,6 +30,7 @@
 
 #include "core/experiment.hpp"
 #include "core/selectors.hpp"
+#include "perf/observability.hpp"
 #include "sim/sim_backend.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -44,6 +52,14 @@ struct fig_options {
   std::string csv_prefix;
   bool select = false;                  // run the §IV selector claims
 };
+
+// Tracing/sampling session for a bench main(): CLI flags layered over the
+// GRAN_TRACE / GRAN_SAMPLE_US env knobs. Construct it before the first
+// thread_manager; artifacts are written when it goes out of scope.
+inline perf::observability_session::options observability_options(const cli_args& args) {
+  return perf::observability_session::options_from_cli(
+      args, perf::observability_session::options_from_env());
+}
 
 inline fig_options parse_fig_options(const cli_args& args) {
   fig_options opt;

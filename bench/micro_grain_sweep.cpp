@@ -19,6 +19,7 @@
 #include <iostream>
 
 #include "core/experiment.hpp"
+#include "perf/observability.hpp"
 #include "sim/sim_backend.hpp"
 #include "sync/latch.hpp"
 #include "threads/thread_manager.hpp"
@@ -93,6 +94,8 @@ int run_sim(const cli_args& args) {
 
 int main(int argc, char** argv) {
   const cli_args args(argc, argv);
+  perf::observability_session obs(perf::observability_session::options_from_cli(
+      args, perf::observability_session::options_from_env()));
   if (args.get("mode", "native") == "sim") return run_sim(args);
   const double total_us = args.get_double("total-us", 200'000.0);
   const int workers = static_cast<int>(args.get_int("workers", 0));

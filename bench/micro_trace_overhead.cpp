@@ -1,0 +1,175 @@
+// A/B micro-benchmark for the task-lifecycle tracer (src/perf/trace.hpp).
+//
+// Three measurements:
+//   * gate:  cost of a trace_emit call while tracing is DISABLED — the price
+//     every scheduler hot path pays unconditionally. Must stay ~1 branch.
+//   * emit:  cost of a trace_emit call while tracing is ENABLED — timestamp,
+//     slot store, release publish.
+//   * end-to-end: task throughput of a real thread_manager running a
+//     fine-grained spin workload, tracing off vs on.
+//
+//   --tasks=N          tasks per end-to-end run (default 40000)
+//   --spin=N           per-task spin iterations (default 2000, ~1-2 us)
+//   --workers=N        worker threads (default 4)
+//   --reps=N           repetitions, best-of (default 3)
+//   --emit-ops=N       emit/gate loop iterations (default 20e6)
+//   --json=PATH        write machine-readable results
+//   --baseline=PATH    compare against a previous --json dump; exits 1 when
+//                      the disabled-path throughput regressed more than
+//                      --tolerance-pct (default 1.0)
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "perf/trace.hpp"
+#include "threads/thread_manager.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace gran;
+
+namespace {
+
+// Per-task payload: a dependency-chained multiply loop the optimizer cannot
+// collapse, sized by --spin to the ~1 us grain where tracing overhead would
+// show first.
+volatile double g_sink = 0;
+void spin_task(std::uint64_t iters) {
+  double x = 1.000000119;
+  for (std::uint64_t i = 0; i < iters; ++i) x = x * 1.000000119 + 1e-9;
+  g_sink = x;
+}
+
+// ns per trace_emit call in a tight loop (covers both the disabled gate and
+// the enabled emit path depending on tracer state).
+double emit_cost_ns(perf::trace_ring* ring, std::uint64_t ops) {
+  stopwatch clock;
+  for (std::uint64_t i = 0; i < ops; ++i)
+    perf::trace_emit(ring, perf::trace_kind::task_begin, 0, i, 0, "bench");
+  return clock.elapsed_s() * 1e9 / static_cast<double>(ops);
+}
+
+// One end-to-end run: spawn `tasks` spin tasks on a fresh manager, wait for
+// the pool to drain. Returns tasks per second.
+double run_throughput(int workers, std::uint64_t tasks, std::uint64_t spin) {
+  scheduler_config cfg;
+  cfg.num_workers = workers;
+  cfg.pin_workers = false;
+  thread_manager tm(cfg);
+  stopwatch clock;
+  for (std::uint64_t i = 0; i < tasks; ++i)
+    tm.spawn([spin] { spin_task(spin); }, task_priority::normal, "spin");
+  tm.wait_idle();
+  return static_cast<double>(tasks) / clock.elapsed_s();
+}
+
+double best_throughput(int reps, int workers, std::uint64_t tasks,
+                       std::uint64_t spin) {
+  double best = 0;
+  for (int r = 0; r < reps; ++r)
+    best = std::max(best, run_throughput(workers, tasks, spin));
+  return best;
+}
+
+// Minimal extraction of `"key": <number>` from a results JSON; returns NaN
+// when the key is absent.
+double json_number(const std::string& text, const std::string& key) {
+  const auto pos = text.find("\"" + key + "\"");
+  if (pos == std::string::npos) return std::nan("");
+  const auto colon = text.find(':', pos);
+  if (colon == std::string::npos) return std::nan("");
+  return std::strtod(text.c_str() + colon + 1, nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cli_args args(argc, argv);
+  const auto tasks = static_cast<std::uint64_t>(args.get_int("tasks", 40'000));
+  const auto spin = static_cast<std::uint64_t>(args.get_int("spin", 2'000));
+  const int workers = static_cast<int>(args.get_int("workers", 4));
+  const int reps = static_cast<int>(args.get_int("reps", 3));
+  const auto emit_ops =
+      static_cast<std::uint64_t>(args.get_int("emit-ops", 20'000'000));
+
+  auto& tr = perf::tracer::instance();
+
+  // --- gate: tracing disabled, ring pointer still live (worst legal case).
+  perf::trace_ring gate_ring(1 << 16);
+  tr.disable();
+  const double gate_ns = emit_cost_ns(&gate_ring, emit_ops);
+
+  // --- emit: tracing enabled, single producer into one ring.
+  tr.enable(1 << 16);
+  perf::trace_ring emit_ring(1 << 16);
+  const double emit_ns = emit_cost_ns(&emit_ring, emit_ops);
+  tr.disable();
+
+  // --- end-to-end A/B. Off first (the measurement the regression gate
+  // protects), then on.
+  const double off_tps = best_throughput(reps, workers, tasks, spin);
+  tr.enable(1 << 20);  // large rings: measure emit cost, not drop handling
+  const double on_tps = best_throughput(reps, workers, tasks, spin);
+  tr.disable();
+  tr.clear();
+
+  const double overhead_pct = (off_tps / on_tps - 1.0) * 100.0;
+
+  std::cout << "Tracing overhead: " << workers << " workers, " << tasks
+            << " tasks x " << spin << " spin iters, best of " << reps << "\n";
+  table_writer table({"measurement", "value"});
+  table.add_row({"gate (disabled emit)", format_number(gate_ns, 2) + " ns"});
+  table.add_row({"emit (enabled)", format_number(emit_ns, 2) + " ns"});
+  table.add_row({"tasks/s off", format_number(off_tps / 1e3, 1) + " k"});
+  table.add_row({"tasks/s on", format_number(on_tps / 1e3, 1) + " k"});
+  table.add_row({"enabled overhead", format_number(overhead_pct, 2) + " %"});
+  table.print(std::cout);
+
+  const std::string json = args.get("json", "");
+  if (!json.empty()) {
+    std::ofstream f(json);
+    f << "{\n  \"bench\": \"micro_trace_overhead\",\n"
+      << "  \"tasks\": " << tasks << ",\n  \"spin\": " << spin
+      << ",\n  \"workers\": " << workers << ",\n"
+      << "  \"gate_ns\": " << gate_ns << ",\n  \"emit_ns\": " << emit_ns
+      << ",\n  \"off_tasks_per_s\": " << off_tps
+      << ",\n  \"on_tasks_per_s\": " << on_tps
+      << ",\n  \"overhead_pct\": " << overhead_pct << "\n}\n";
+    std::cout << "(json written to " << json << ")\n";
+  }
+
+  const std::string baseline = args.get("baseline", "");
+  if (!baseline.empty()) {
+    std::ifstream f(baseline);
+    if (!f) {
+      std::cerr << "cannot read baseline " << baseline << "\n";
+      return 2;
+    }
+    std::stringstream ss;
+    ss << f.rdbuf();
+    const double base_off = json_number(ss.str(), "off_tasks_per_s");
+    if (!(base_off > 0)) {
+      std::cerr << "baseline " << baseline << " has no off_tasks_per_s\n";
+      return 2;
+    }
+    const double tolerance = args.get_double("tolerance-pct", 1.0);
+    const double delta_pct = (1.0 - off_tps / base_off) * 100.0;
+    std::cout << "disabled-path vs baseline: " << format_number(delta_pct, 2)
+              << " % slower (tolerance " << format_number(tolerance, 1)
+              << " %)\n";
+    if (delta_pct > tolerance) {
+      std::cerr << "FAIL: tracing-disabled throughput regressed "
+                << format_number(delta_pct, 2) << " % > "
+                << format_number(tolerance, 1) << " %\n";
+      return 1;
+    }
+    std::cout << "OK: disabled-path regression within tolerance\n";
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Records the tracing-overhead baseline (disabled-path gate cost, enabled emit
+# cost, end-to-end task throughput off/on) into results/BENCH_trace.json,
+# building the bench if needed.
+#
+# When a baseline already exists, the run is first checked against it: the
+# tracing-DISABLED throughput must not regress more than 1% (the bench exits
+# non-zero otherwise), then the baseline is refreshed.
+#
+#   scripts/bench_trace_baseline.sh [--tasks=N] [--spin=N] ...
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j --target micro_trace_overhead >/dev/null
+
+mkdir -p results
+extra=()
+if [[ -f results/BENCH_trace.json ]]; then
+  extra+=(--baseline=results/BENCH_trace.json)
+fi
+./build/bench/micro_trace_overhead --json=results/BENCH_trace.json.new \
+  "${extra[@]}" "$@" | tee results/micro_trace_overhead.txt
+mv results/BENCH_trace.json.new results/BENCH_trace.json

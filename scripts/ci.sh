@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The tier-1 verification gate, as one command:
+#   1. configure + build everything (warnings are errors via the toolchain);
+#   2. run the full ctest suite;
+#   3. rebuild the concurrency-critical tests (including the trace-ring
+#      concurrency test) under ThreadSanitizer and run them.
+#
+#   scripts/ci.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== ci: build ==="
+cmake -B build -S .
+cmake --build build -j
+
+echo "=== ci: ctest ==="
+(cd build && ctest --output-on-failure -j "$(nproc)" "$@")
+
+echo "=== ci: tsan ==="
+scripts/tsan_check.sh
+
+echo "ci: all green"

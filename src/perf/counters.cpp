@@ -77,6 +77,27 @@ std::optional<counter_value> registry::query(const std::string& path) const {
   return v;
 }
 
+std::vector<std::pair<std::string, counter_value>> registry::query_all(
+    const std::string& prefix) const {
+  // One lock acquisition to copy the matching (path, fn) pairs ...
+  std::vector<std::pair<std::string, sample_fn>> fns;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = counters_.lower_bound(prefix);
+         it != counters_.end() && it->first.rfind(prefix, 0) == 0; ++it)
+      fns.emplace_back(it->first, it->second.fn);
+  }
+  // ... then every sample runs unlocked, stamped with one shared timestamp.
+  const std::int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               std::chrono::steady_clock::now().time_since_epoch())
+                               .count();
+  std::vector<std::pair<std::string, counter_value>> out;
+  out.reserve(fns.size());
+  for (auto& [path, fn] : fns)
+    out.emplace_back(std::move(path), counter_value{fn(), now});
+  return out;
+}
+
 double registry::value_or(const std::string& path, double def) const {
   const auto v = query(path);
   return v ? v->value : def;

@@ -32,6 +32,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace gran::perf {
@@ -79,6 +80,14 @@ class registry {
 
   // Samples a counter. std::nullopt for unknown paths.
   std::optional<counter_value> query(const std::string& path) const;
+
+  // Samples every counter whose path starts with `prefix`, taking the
+  // registry lock exactly once for the whole batch (the per-path query()
+  // takes it per counter, which is what made high-frequency sampling
+  // contend with registration). The sample functions run outside the lock;
+  // all values share one timestamp. Results are sorted by path.
+  std::vector<std::pair<std::string, counter_value>> query_all(
+      const std::string& prefix) const;
 
   // Raw value convenience; `def` for unknown paths.
   double value_or(const std::string& path, double def) const;

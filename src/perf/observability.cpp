@@ -1,0 +1,87 @@
+#include "perf/observability.hpp"
+
+#include <iostream>
+#include <sstream>
+
+#include "perf/trace.hpp"
+#include "util/env.hpp"
+
+namespace gran::perf {
+
+namespace {
+
+std::vector<std::string> split_prefixes(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+}  // namespace
+
+observability_session::options observability_session::options_from_env() {
+  options o;
+  const std::string trace = env_string("GRAN_TRACE", "");
+  if (!trace.empty())
+    o.trace_out = (trace == "1" || trace == "true") ? "gran_trace.json" : trace;
+  o.trace_buf_events = static_cast<std::size_t>(env_int("GRAN_TRACE_BUF", 0));
+  o.sample_interval_us = static_cast<std::uint64_t>(env_int("GRAN_SAMPLE_US", 0));
+  o.sample_out = env_string("GRAN_SAMPLE_OUT", "");
+  const std::string set = env_string("GRAN_SAMPLE_SET", "");
+  if (!set.empty()) o.sample_prefixes = split_prefixes(set);
+  return o;
+}
+
+observability_session::options observability_session::options_from_cli(
+    const cli_args& args, options base) {
+  base.trace_out = args.get("trace-out", base.trace_out);
+  base.trace_buf_events = static_cast<std::size_t>(
+      args.get_int("trace-buf", static_cast<std::int64_t>(base.trace_buf_events)));
+  base.sample_interval_us = static_cast<std::uint64_t>(args.get_int(
+      "sample-interval-us", static_cast<std::int64_t>(base.sample_interval_us)));
+  base.sample_out = args.get("sample-out", base.sample_out);
+  const std::string set = args.get("sample-set", "");
+  if (!set.empty()) base.sample_prefixes = split_prefixes(set);
+  return base;
+}
+
+observability_session::observability_session(options opt) : opt_(std::move(opt)) {
+  if (!opt_.trace_out.empty()) {
+    auto& t = tracer::instance();
+    t.enable(opt_.trace_buf_events);
+    t.set_export_path(opt_.trace_out);
+  }
+  if (opt_.sample_interval_us > 0) {
+    if (opt_.sample_out.empty()) opt_.sample_out = "gran_samples.csv";
+    sampler_options so;
+    so.prefixes = opt_.sample_prefixes;
+    so.interval_us = opt_.sample_interval_us;
+    sampler_ = std::make_unique<sampler_thread>(std::move(so));
+  }
+}
+
+observability_session::~observability_session() { finish(); }
+
+void observability_session::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (sampler_) {
+    sampler_->stop();
+    if (sampler_->dump_file(opt_.sample_out))
+      std::cout << "(counter time series: " << sampler_->samples_taken()
+                << " samples written to " << opt_.sample_out << ")\n";
+  }
+  if (!opt_.trace_out.empty()) {
+    // The thread manager also exports at stop(); this final export includes
+    // every manager the process ran and therefore supersedes those files.
+    if (tracer::instance().export_chrome_json(opt_.trace_out))
+      std::cout << "(trace: " << tracer::instance().total_events() -
+                                     tracer::instance().total_dropped()
+                << " events written to " << opt_.trace_out
+                << " — load in ui.perfetto.dev)\n";
+  }
+}
+
+}  // namespace gran::perf

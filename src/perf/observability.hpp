@@ -1,0 +1,62 @@
+// One-stop wiring of the observability features (trace export + background
+// counter sampling) for tools and benches.
+//
+// An observability_session is an RAII object created at the top of main():
+// it enables tracing and/or starts the sampler according to CLI flags and
+// environment knobs, and on destruction stops the sampler, dumps the time
+// series, and exports the trace.
+//
+//   CLI flags                     env fallback        effect
+//   --trace-out=PATH              GRAN_TRACE          Chrome/Perfetto JSON
+//   --trace-buf=N                 GRAN_TRACE_BUF      ring capacity (events)
+//   --sample-interval-us=N        GRAN_SAMPLE_US      sampler period; >0 on
+//   --sample-out=PATH             GRAN_SAMPLE_OUT     .csv or .json series
+//   --sample-set=P1,P2            GRAN_SAMPLE_SET     counter prefixes
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "perf/sampler_thread.hpp"
+#include "util/cli.hpp"
+
+namespace gran::perf {
+
+class observability_session {
+ public:
+  struct options {
+    std::string trace_out;                  // empty = tracing off
+    std::size_t trace_buf_events = 0;       // 0 = default / GRAN_TRACE_BUF
+    std::uint64_t sample_interval_us = 0;   // 0 = sampler off
+    std::string sample_out;                 // default gran_samples.csv
+    std::vector<std::string> sample_prefixes{"/threads"};
+  };
+
+  // Environment-only defaults (GRAN_TRACE, GRAN_SAMPLE_US, ...).
+  static options options_from_env();
+  // CLI flags layered over `base` (typically options_from_env()).
+  static options options_from_cli(const cli_args& args, options base);
+
+  explicit observability_session(options opt);
+  ~observability_session();  // calls finish()
+
+  observability_session(const observability_session&) = delete;
+  observability_session& operator=(const observability_session&) = delete;
+
+  // Stops the sampler, dumps the series, exports the trace. Idempotent;
+  // prints one status line per artifact written.
+  void finish();
+
+  bool tracing() const { return !opt_.trace_out.empty(); }
+  bool sampling() const { return sampler_ != nullptr; }
+  const sampler_thread* sampler() const { return sampler_.get(); }
+
+ private:
+  options opt_;
+  std::unique_ptr<sampler_thread> sampler_;
+  bool finished_ = false;
+};
+
+}  // namespace gran::perf

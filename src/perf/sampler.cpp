@@ -15,10 +15,14 @@ std::int64_t now_ns() {
 }  // namespace
 
 snapshot snapshot::capture(const std::vector<std::string>& prefixes) {
-  std::vector<std::string> paths;
+  // query_all batches each prefix under one registry-lock acquisition —
+  // capture cost no longer scales the lock traffic with the counter count.
+  snapshot s;
+  s.timestamp_ns_ = now_ns();
   for (const auto& prefix : prefixes)
-    for (auto& p : registry::instance().list(prefix)) paths.push_back(std::move(p));
-  return capture_paths(paths);
+    for (auto& [path, v] : registry::instance().query_all(prefix))
+      s.values_[std::move(path)] = v.value;
+  return s;
 }
 
 snapshot snapshot::capture_paths(const std::vector<std::string>& paths) {

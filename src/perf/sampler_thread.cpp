@@ -1,0 +1,166 @@
+#include "perf/sampler_thread.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <ostream>
+
+#include "perf/counters.hpp"
+
+namespace gran::perf {
+
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+sampler_thread::sampler_thread(sampler_options opt) : opt_(std::move(opt)) {
+  if (opt_.interval_us == 0) opt_.interval_us = 1000;
+  if (opt_.capacity == 0) opt_.capacity = 1;
+  thread_ = std::thread([this] { run(); });
+}
+
+sampler_thread::~sampler_thread() { stop(); }
+
+void sampler_thread::stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    if (stopping_ && !thread_.joinable()) return;
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void sampler_thread::run() {
+  const auto interval = std::chrono::microseconds(opt_.interval_us);
+  auto next = std::chrono::steady_clock::now() + interval;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(stop_mutex_);
+      if (stop_cv_.wait_until(lock, next, [this] { return stopping_; })) break;
+    }
+    next += interval;
+    sample_once();
+    // If sampling fell behind (a slow counter), don't try to catch up with a
+    // burst — slip the schedule instead.
+    const auto now = std::chrono::steady_clock::now();
+    if (next < now) next = now + interval;
+  }
+}
+
+void sampler_thread::sample_once() {
+  // One registry lock acquisition per prefix per tick (query_all), then the
+  // sample lambdas run unlocked.
+  std::vector<std::pair<std::string, counter_value>> sampled;
+  for (const auto& prefix : opt_.prefixes) {
+    auto part = registry::instance().query_all(prefix);
+    sampled.insert(sampled.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (columns_.empty()) {
+    columns_.reserve(sampled.size());
+    for (const auto& [path, v] : sampled) columns_.push_back(path);
+  }
+
+  row r;
+  r.timestamp_ns = now_ns();
+  r.values.assign(columns_.size(), std::numeric_limits<double>::quiet_NaN());
+  // Counter sets are stable in practice; align by position with a fallback
+  // search for the (rare) case of counters vanishing mid-run.
+  std::size_t hint = 0;
+  for (const auto& [path, v] : sampled) {
+    std::size_t col = columns_.size();
+    if (hint < columns_.size() && columns_[hint] == path) {
+      col = hint++;
+    } else {
+      for (std::size_t i = 0; i < columns_.size(); ++i)
+        if (columns_[i] == path) {
+          col = i;
+          hint = i + 1;
+          break;
+        }
+    }
+    if (col < columns_.size()) r.values[col] = v.value;
+  }
+
+  rows_.push_back(std::move(r));
+  taken_.fetch_add(1, std::memory_order_relaxed);
+  while (rows_.size() > opt_.capacity) {
+    rows_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::string> sampler_thread::columns() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return columns_;
+}
+
+std::vector<sampler_thread::row> sampler_thread::series() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {rows_.begin(), rows_.end()};
+}
+
+void sampler_thread::dump_csv(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os << "time_ns";
+  for (const auto& c : columns_) os << ',' << c;
+  os << '\n';
+  const std::int64_t t0 = rows_.empty() ? 0 : rows_.front().timestamp_ns;
+  for (const auto& r : rows_) {
+    os << (r.timestamp_ns - t0);
+    for (const double v : r.values) {
+      os << ',';
+      if (std::isnan(v))
+        os << "nan";
+      else
+        os << v;
+    }
+    os << '\n';
+  }
+}
+
+void sampler_thread::dump_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os << "{\n  \"columns\": [\"time_ns\"";
+  for (const auto& c : columns_) os << ", \"" << c << "\"";
+  os << "],\n  \"rows\": [\n";
+  const std::int64_t t0 = rows_.empty() ? 0 : rows_.front().timestamp_ns;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const auto& r = rows_[i];
+    os << "    [" << (r.timestamp_ns - t0);
+    for (const double v : r.values) {
+      if (std::isnan(v))
+        os << ", null";
+      else
+        os << ", " << v;
+    }
+    os << ']' << (i + 1 < rows_.size() ? "," : "") << '\n';
+  }
+  os << "  ]\n}\n";
+}
+
+bool sampler_thread::dump_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    std::cerr << "[gran] sampler: cannot open " << path << "\n";
+    return false;
+  }
+  if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0)
+    dump_json(f);
+  else
+    dump_csv(f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace gran::perf

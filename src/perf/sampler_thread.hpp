@@ -1,0 +1,85 @@
+// Background counter sampler: a dedicated OS thread that periodically
+// snapshots a configurable counter set into an in-memory time-series ring
+// and dumps it as CSV or JSON at the end — the paper's "dynamic measurement
+// over any interval of interest" (§II-A) turned into a continuous recorder
+// (idle-rate-over-time, queue depth over time, ...).
+//
+// The sampler uses registry::query_all, so each tick costs one registry
+// lock acquisition regardless of how many counters it records.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace gran::perf {
+
+struct sampler_options {
+  // Counter-path prefixes to record (resolved on the first tick; counters
+  // registered later are not picked up, counters unregistered later read as
+  // NaN).
+  std::vector<std::string> prefixes{"/threads"};
+  // Sampling period.
+  std::uint64_t interval_us = 1000;
+  // Retained samples; the ring drops the oldest row beyond this.
+  std::size_t capacity = 1u << 16;
+};
+
+class sampler_thread {
+ public:
+  struct row {
+    std::int64_t timestamp_ns = 0;  // steady_clock, absolute
+    std::vector<double> values;     // aligned with columns()
+  };
+
+  // Starts sampling immediately.
+  explicit sampler_thread(sampler_options opt);
+  ~sampler_thread();  // stops and joins
+
+  sampler_thread(const sampler_thread&) = delete;
+  sampler_thread& operator=(const sampler_thread&) = delete;
+
+  // Stops the background thread (idempotent). Rows remain queryable.
+  void stop();
+
+  // Column paths, fixed at the first tick (empty before it).
+  std::vector<std::string> columns() const;
+  // Copy of the retained time series, oldest first.
+  std::vector<row> series() const;
+  std::uint64_t samples_taken() const { return taken_.load(std::memory_order_relaxed); }
+  std::uint64_t samples_dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  // time_ns (relative to the first sample) + one column per counter.
+  // Unavailable values (counter unregistered mid-run) dump as "nan" in CSV
+  // and null in JSON.
+  void dump_csv(std::ostream& os) const;
+  void dump_json(std::ostream& os) const;
+  // Dispatches on the extension (".json" => JSON, anything else CSV).
+  bool dump_file(const std::string& path) const;
+
+ private:
+  void run();
+  void sample_once();
+
+  sampler_options opt_;
+
+  mutable std::mutex mutex_;  // guards columns_ and rows_
+  std::vector<std::string> columns_;
+  std::deque<row> rows_;
+
+  std::atomic<std::uint64_t> taken_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace gran::perf

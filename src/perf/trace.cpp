@@ -1,0 +1,276 @@
+#include "perf/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+#include "util/env.hpp"
+
+namespace gran::perf {
+
+namespace {
+
+constexpr std::size_t default_ring_capacity = 1u << 16;  // 2 MiB of events/worker
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t c = 1;
+  while (c < n) c <<= 1;
+  return c;
+}
+
+// Minimal JSON string escaping for task descriptions.
+void write_escaped(std::ostream& os, const char* s) {
+  for (; *s; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          os << ' ';
+        else
+          os << c;
+    }
+  }
+}
+
+}  // namespace
+
+std::atomic<bool> tracer::enabled_{false};
+
+trace_ring::trace_ring(std::size_t capacity)
+    : slots_(new trace_event[round_up_pow2(std::max<std::size_t>(capacity, 2))]),
+      mask_(round_up_pow2(std::max<std::size_t>(capacity, 2)) - 1) {}
+
+std::vector<trace_event> trace_ring::snapshot() const {
+  const std::uint64_t end = written();
+  const std::uint64_t begin = end > capacity() ? end - capacity() : 0;
+  std::vector<trace_event> out;
+  out.reserve(static_cast<std::size_t>(end - begin));
+  for (std::uint64_t s = begin; s < end; ++s) out.push_back(slots_[s & mask_]);
+  return out;
+}
+
+tracer& tracer::instance() {
+  static tracer t;
+  return t;
+}
+
+void tracer::enable(std::size_t events_per_worker) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (events_per_worker != 0) ring_capacity_ = events_per_worker;
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void tracer::init_from_env() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (env_checked_) return;
+    env_checked_ = true;
+    const std::string path = env_string("GRAN_TRACE", "");
+    if (path.empty()) return;
+    export_path_ = (path == "1" || path == "true") ? "gran_trace.json" : path;
+    const auto buf = env_int("GRAN_TRACE_BUF", 0);
+    if (buf > 0) ring_capacity_ = static_cast<std::size_t>(buf);
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void tracer::set_export_path(std::string path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  export_path_ = std::move(path);
+}
+
+std::string tracer::export_path() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return export_path_;
+}
+
+trace_ring* tracer::ring(int worker) {
+  if (worker < 0) return nullptr;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto idx = static_cast<std::size_t>(worker);
+  if (idx >= rings_.size()) rings_.resize(idx + 1);
+  if (!rings_[idx])
+    rings_[idx] = std::make_unique<trace_ring>(
+        ring_capacity_ ? ring_capacity_ : default_ring_capacity);
+  return rings_[idx].get();
+}
+
+std::uint64_t tracer::total_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t n = 0;
+  for (const auto& r : rings_)
+    if (r) n += r->written();
+  return n;
+}
+
+std::uint64_t tracer::total_dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t n = 0;
+  for (const auto& r : rings_)
+    if (r) n += r->dropped();
+  return n;
+}
+
+void tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rings_.clear();
+}
+
+void tracer::write_chrome_json(std::ostream& os) const {
+  // Snapshot every lane (producers must be quiescent — see header).
+  std::vector<std::vector<trace_event>> lanes;
+  std::uint64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    lanes.reserve(rings_.size());
+    for (const auto& r : rings_) {
+      lanes.push_back(r ? r->snapshot() : std::vector<trace_event>{});
+      if (r) dropped += r->dropped();
+    }
+  }
+
+  if (dropped > 0)
+    std::cerr << "[gran] trace export: " << dropped
+              << " events were overwritten by ring wraparound; raise "
+                 "GRAN_TRACE_BUF for a complete trace\n";
+
+  std::uint64_t base = ~std::uint64_t{0};
+  for (const auto& lane : lanes)
+    for (const auto& e : lane) base = std::min(base, e.ticks);
+  if (base == ~std::uint64_t{0}) base = 0;
+  const double ns = tsc_clock::ns_per_tick();
+  const auto ts_us = [&](std::uint64_t ticks) {
+    return static_cast<double>(ticks - base) * ns / 1e3;
+  };
+
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  char buf[64];
+
+  os.precision(3);
+  os << std::fixed;
+  first = false;
+  os << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+        "\"args\":{\"name\":\"gran\"}}";
+
+  std::uint64_t flow_id = 0;
+  for (std::size_t w = 0; w < lanes.size(); ++w) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << w
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"worker " << w << "\"}}";
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << w
+       << ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":" << w << "}}";
+
+    // Pair *_begin/*_end (and park/unpark) into complete "X" slices. Phases
+    // run to completion on their worker, so spans never nest within a lane;
+    // ring wraparound can orphan one begin or end at the edges — orphaned
+    // ends are skipped, a trailing begin is closed at the lane's last event.
+    struct open_span {
+      std::uint64_t ticks = 0;
+      std::uint64_t id = 0;
+      const char* name = nullptr;
+      bool valid = false;
+    };
+    open_span task, parked;
+    const std::uint64_t lane_last =
+        lanes[w].empty() ? 0 : lanes[w].back().ticks;
+
+    const auto emit_slice = [&](const open_span& o, std::uint64_t end_ticks,
+                                const char* fallback, const char* cat,
+                                const char* end_reason) {
+      sep();
+      os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << w << ",\"ts\":" << ts_us(o.ticks)
+         << ",\"dur\":" << ts_us(end_ticks) - ts_us(o.ticks) << ",\"cat\":\"" << cat
+         << "\",\"name\":\"";
+      write_escaped(os, o.name ? o.name : fallback);
+      os << "\"";
+      if (o.id) {
+        std::snprintf(buf, sizeof buf, ",\"args\":{\"task\":%llu,\"end\":\"%s\"}",
+                      static_cast<unsigned long long>(o.id), end_reason);
+        os << buf;
+      }
+      os << "}";
+    };
+
+    for (const auto& e : lanes[w]) {
+      switch (e.kind) {
+        case trace_kind::task_begin:
+        case trace_kind::phase_begin:
+          task = {e.ticks, e.arg, e.name, true};
+          break;
+        case trace_kind::task_end:
+        case trace_kind::phase_end:
+          if (task.valid) {
+            const char* reason = e.kind == trace_kind::task_end ? "done"
+                                 : e.arg2 == 1                  ? "yield"
+                                                                : "suspend";
+            emit_slice(task, e.ticks, "task", "task", reason);
+            task.valid = false;
+          }
+          break;
+        case trace_kind::park:
+          parked = {e.ticks, 0, nullptr, true};
+          break;
+        case trace_kind::unpark:
+          if (parked.valid) {
+            emit_slice(parked, e.ticks, "parked", "idle", "unpark");
+            parked.valid = false;
+          }
+          break;
+        case trace_kind::steal: {
+          // Instant marker on the thief plus a flow arrow from the victim
+          // lane, so Perfetto draws where the work came from.
+          const std::uint64_t id = ++flow_id;
+          sep();
+          os << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" << w
+             << ",\"ts\":" << ts_us(e.ticks) << ",\"cat\":\"steal\",\"name\":\"steal\","
+             << "\"args\":{\"task\":" << e.arg << ",\"victim\":" << e.arg2 << "}}";
+          sep();
+          os << "{\"ph\":\"s\",\"id\":" << id << ",\"pid\":1,\"tid\":" << e.arg2
+             << ",\"ts\":" << ts_us(e.ticks) << ",\"cat\":\"steal\",\"name\":\"steal\"}";
+          sep();
+          os << "{\"ph\":\"f\",\"bp\":\"e\",\"id\":" << id << ",\"pid\":1,\"tid\":" << w
+             << ",\"ts\":" << ts_us(e.ticks) << ",\"cat\":\"steal\",\"name\":\"steal\"}";
+          break;
+        }
+        case trace_kind::pending_miss:
+          sep();
+          os << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" << w
+             << ",\"ts\":" << ts_us(e.ticks)
+             << ",\"cat\":\"sched\",\"name\":\"pending-miss\"}";
+          break;
+      }
+    }
+    if (task.valid) emit_slice(task, std::max(task.ticks, lane_last), "task", "task", "open");
+    if (parked.valid)
+      emit_slice(parked, std::max(parked.ticks, lane_last), "parked", "idle", "open");
+  }
+  os << "\n]}\n";
+}
+
+bool tracer::export_chrome_json(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    std::cerr << "[gran] trace export: cannot open " << path << "\n";
+    return false;
+  }
+  write_chrome_json(f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace gran::perf

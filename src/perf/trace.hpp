@@ -1,0 +1,181 @@
+// Task-lifecycle tracing: per-worker lock-free ring buffers of fixed-size
+// 32-byte binary events, recorded from the scheduler hot paths behind a
+// single relaxed-atomic enabled check, exported as Chrome trace_event /
+// Perfetto-compatible JSON (load the file in ui.perfetto.dev or
+// chrome://tracing).
+//
+// Design constraints (see docs/TRACING.md for the full schema):
+//  * Disabled cost is one predictable branch on a relaxed atomic load —
+//    tracing must be free when off (bench/micro_trace_overhead measures it).
+//  * Each ring has exactly one producer (its worker OS thread); recording is
+//    two plain stores plus one release store of the sequence counter, no
+//    CAS, no allocation.
+//  * On overflow the ring wraps and overwrites the oldest events
+//    (keep-latest). Overwrites are counted and surfaced as the
+//    /threads/count/trace-dropped counter and a warning at export time —
+//    never silent.
+//  * Draining a ring (export) is only valid while its producer is quiescent;
+//    the runtime exports after the workers have been joined.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/cacheline.hpp"
+#include "util/timer.hpp"
+
+namespace gran::perf {
+
+enum class trace_kind : std::uint16_t {
+  task_begin = 0,    // first phase of a task starts      arg=id, name=description
+  task_end = 1,      // task terminated                   arg=id
+  phase_begin = 2,   // later phase starts (after yield/suspend)
+  phase_end = 3,     // phase ended without terminating   arg2: 1=yield 2=suspend
+  steal = 4,         // task obtained from another worker arg=id, arg2=victim
+  park = 5,          // worker blocks on the idle cv
+  unpark = 6,        // worker resumes from the idle cv
+  pending_miss = 7,  // scheduler round found no work (first miss after work)
+};
+
+// One binary trace record. `name` points to the task's description — a
+// string with static storage duration in every runtime call site (task
+// descriptions are `const char*` literals); it is dereferenced only at
+// export time.
+struct trace_event {
+  std::uint64_t ticks = 0;      // tsc_clock timestamp
+  std::uint64_t arg = 0;        // task id for task/steal events
+  const char* name = nullptr;   // task description on *_begin events
+  trace_kind kind = trace_kind::task_begin;
+  std::uint16_t worker = 0;
+  std::uint32_t arg2 = 0;       // phase-end reason / steal victim
+};
+static_assert(sizeof(void*) != 8 || sizeof(trace_event) == 32,
+              "trace events must stay one half cache line");
+
+// Single-producer ring of trace events. The producer (one worker thread)
+// writes the slot, then publishes with a release store of the sequence
+// counter; concurrent readers may only touch the atomic counters
+// (written()/dropped()). snapshot() requires a quiescent producer.
+class trace_ring {
+ public:
+  explicit trace_ring(std::size_t capacity);  // rounded up to a power of two
+
+  void emit(const trace_event& e) noexcept {
+    const std::uint64_t seq = seq_.load(std::memory_order_relaxed);
+    slots_[seq & mask_] = e;
+    seq_.store(seq + 1, std::memory_order_release);
+  }
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+  std::uint64_t written() const noexcept { return seq_.load(std::memory_order_acquire); }
+  // Events overwritten by wraparound (lost from the front of the ring).
+  std::uint64_t dropped() const noexcept {
+    const std::uint64_t n = written();
+    return n > capacity() ? n - capacity() : 0;
+  }
+
+  // Copies the retained events, oldest first. Producer must be quiescent.
+  std::vector<trace_event> snapshot() const;
+
+  void clear() noexcept { seq_.store(0, std::memory_order_release); }
+
+ private:
+  std::unique_ptr<trace_event[]> slots_;
+  std::uint64_t mask_;
+  alignas(cache_line_size) std::atomic<std::uint64_t> seq_{0};
+};
+
+// Process-global trace session: owns one ring per worker index and the
+// exporter. Rings outlive any single thread_manager (sequential managers
+// reuse worker indices and append to the same lanes), mirroring the
+// process-global counter registry.
+class tracer {
+ public:
+  static tracer& instance();
+
+  // The hot-path gate: one relaxed atomic load, inlined into every
+  // instrumentation site.
+  static bool enabled() noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Turns tracing on. `events_per_worker` sizes rings created afterwards
+  // (0 = GRAN_TRACE_BUF env or the 65536-event default). Rings already
+  // handed out keep their size.
+  void enable(std::size_t events_per_worker = 0);
+  void disable();
+
+  // Reads GRAN_TRACE (export path; "1" selects "gran_trace.json") and
+  // GRAN_TRACE_BUF (ring capacity in events) once per process; called by
+  // the thread manager at startup so plain `GRAN_TRACE=t.json ./bench`
+  // works with no code changes.
+  void init_from_env();
+
+  // Where the runtime auto-exports at thread_manager::stop(); empty = no
+  // auto-export.
+  void set_export_path(std::string path);
+  std::string export_path() const;
+
+  // Ring for one worker lane, created on first use. nullptr when disabled.
+  trace_ring* ring(int worker);
+
+  std::uint64_t total_events() const;   // written across all rings
+  std::uint64_t total_dropped() const;  // overwritten across all rings
+
+  // Chrome trace_event JSON of everything currently retained. Valid only
+  // while producers are quiescent (after thread_manager::stop()/join, or
+  // from tests). Returns false when the file cannot be opened. Prints a
+  // one-line warning to stderr when events were dropped.
+  void write_chrome_json(std::ostream& os) const;
+  bool export_chrome_json(const std::string& path) const;
+
+  // Drops all recorded events and rings (tests).
+  void clear();
+
+ private:
+  tracer() = default;
+
+  static std::atomic<bool> enabled_;
+
+  mutable std::mutex mutex_;  // guards rings_ growth and configuration
+  std::vector<std::unique_ptr<trace_ring>> rings_;
+  std::size_t ring_capacity_ = 0;  // 0 = default
+  std::string export_path_;
+  bool env_checked_ = false;
+};
+
+// Emit helpers used by the scheduler hot paths: compile to a relaxed load +
+// branch when tracing is off. `ring` is the worker's cached ring pointer
+// (nullptr when tracing was off at manager construction).
+//
+// trace_emit_at takes an explicit timestamp: phase begin/end events reuse
+// the exact tsc reads the Σt_exec counter accumulates, so the exported task
+// spans and /threads/time/cumulative are the same measurement by
+// construction (tests/trace_test.cpp asserts their sums agree).
+inline void trace_emit_at(trace_ring* ring, std::uint64_t ticks, trace_kind kind,
+                          int worker, std::uint64_t arg = 0, std::uint32_t arg2 = 0,
+                          const char* name = nullptr) noexcept {
+  if (!tracer::enabled() || ring == nullptr) return;
+  trace_event e;
+  e.ticks = ticks;
+  e.arg = arg;
+  e.name = name;
+  e.kind = kind;
+  e.worker = static_cast<std::uint16_t>(worker);
+  e.arg2 = arg2;
+  ring->emit(e);
+}
+
+inline void trace_emit(trace_ring* ring, trace_kind kind, int worker,
+                       std::uint64_t arg = 0, std::uint32_t arg2 = 0,
+                       const char* name = nullptr) noexcept {
+  if (!tracer::enabled() || ring == nullptr) return;
+  trace_emit_at(ring, tsc_clock::now(), kind, worker, arg, arg2, name);
+}
+
+}  // namespace gran::perf

@@ -1,5 +1,7 @@
 #include "threads/policy_priority_local.hpp"
 
+#include "perf/trace.hpp"
+#include "threads/task.hpp"
 #include "threads/thread_manager.hpp"
 #include "util/assert.hpp"
 
@@ -127,6 +129,8 @@ task* priority_local_policy::steal_staged_from_node(thread_manager& tm, int w, i
     if (d) {
       tm.convert(*d);
       me.counters.tasks_stolen.fetch_add(1, std::memory_order_relaxed);
+      perf::trace_emit(me.trace, perf::trace_kind::steal, w, (*d)->id(),
+                       static_cast<std::uint32_t>(v));
       me.queue.push_pending(*d);
       if (auto t = me.queue.pop_pending()) return *t;
       return nullptr;
@@ -155,6 +159,8 @@ task* priority_local_policy::steal_pending_from_node(thread_manager& tm, int w, 
     if (!t) t = victim.queue.pop_pending();
     if (t) {
       me.counters.tasks_stolen.fetch_add(1, std::memory_order_relaxed);
+      perf::trace_emit(me.trace, perf::trace_kind::steal, w, (*t)->id(),
+                       static_cast<std::uint32_t>(v));
       return *t;
     }
   }

@@ -1,5 +1,6 @@
 #include "threads/policy_work_stealing.hpp"
 
+#include "perf/trace.hpp"
 #include "threads/task.hpp"
 #include "threads/thread_manager.hpp"
 #include "util/assert.hpp"
@@ -76,12 +77,16 @@ task* work_stealing_policy::get_next(thread_manager& tm, int w) {
     c.extra_pending_accesses.fetch_add(1, std::memory_order_relaxed);
     if (auto t = v.deque.steal()) {
       c.tasks_stolen.fetch_add(1, std::memory_order_relaxed);
+      perf::trace_emit(tm.worker(w).trace, perf::trace_kind::steal, w, (*t)->id(),
+                       static_cast<std::uint32_t>(victim));
       return *t;
     }
     c.extra_pending_misses.fetch_add(1, std::memory_order_relaxed);
     c.extra_pending_accesses.fetch_add(1, std::memory_order_relaxed);
     if (auto t = v.inbox.pop()) {
       c.tasks_stolen.fetch_add(1, std::memory_order_relaxed);
+      perf::trace_emit(tm.worker(w).trace, perf::trace_kind::steal, w, (*t)->id(),
+                       static_cast<std::uint32_t>(victim));
       return *t;
     }
     c.extra_pending_misses.fetch_add(1, std::memory_order_relaxed);

@@ -118,6 +118,12 @@ class task {
   std::uint32_t phases() const noexcept { return phases_; }
   void count_phase() noexcept { ++phases_; }
 
+  // Accumulated execution time over all phases (TSC ticks). Only touched by
+  // the worker currently running the task; feeds the task-duration
+  // histogram when the task terminates.
+  std::uint64_t exec_ticks() const noexcept { return exec_ticks_; }
+  void add_exec_ticks(std::uint64_t dt) noexcept { exec_ticks_ += dt; }
+
  private:
   static std::atomic<std::uint64_t> next_id_;
 
@@ -131,6 +137,7 @@ class task {
   int last_worker_ = -1;
   bool yield_requested_ = false;
   std::uint32_t phases_ = 0;
+  std::uint64_t exec_ticks_ = 0;
 };
 
 }  // namespace gran

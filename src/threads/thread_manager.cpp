@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "perf/report.hpp"
+#include "perf/trace.hpp"
 #include "threads/runtime.hpp"
 #include "topo/affinity.hpp"
 #include "util/env.hpp"
@@ -58,6 +59,15 @@ thread_manager::thread_manager(scheduler_config cfg)
     workers_by_node_[static_cast<std::size_t>(wd->numa_node)].push_back(w);
     workers_.push_back(std::move(wd));
   }
+
+  // Task-lifecycle tracing: GRAN_TRACE=path (or a tool calling
+  // perf::tracer::enable() before constructing the manager) turns it on;
+  // each worker caches its ring pointer so the hot-path check is one
+  // relaxed atomic load plus a predictable branch (perf/trace.hpp).
+  perf::tracer::instance().init_from_env();
+  if (perf::tracer::enabled())
+    for (int w = 0; w < workers; ++w)
+      workers_[static_cast<std::size_t>(w)]->trace = perf::tracer::instance().ring(w);
 
   policy_ = make_policy(cfg_.policy);
   policy_->init(*this);
@@ -142,6 +152,14 @@ void thread_manager::stop() {
     std::cerr << "[gran] counters at shutdown (" << prefix << "):\n";
     perf::dump_table(std::cerr, prefix == "all" ? "/" : prefix);
   }
+
+  // Auto-export the trace once the workers are quiescent (ring snapshots
+  // are only valid then). Sequential managers re-export cumulatively; the
+  // last writer includes everything.
+  if (perf::tracer::enabled()) {
+    const std::string trace_path = perf::tracer::instance().export_path();
+    if (!trace_path.empty()) perf::tracer::instance().export_chrome_json(trace_path);
+  }
 }
 
 void thread_manager::worker_main(int w) {
@@ -161,14 +179,25 @@ void thread_manager::worker_main(int w) {
     stamp = now;
   };
 
+  bool had_work = true;
   for (;;) {
     task* t = policy_->get_next(*this, w);
     accumulate_func();
     if (t != nullptr) {
+      had_work = true;
       idler.reset();
       run_phase(w, t);
       accumulate_func();
       continue;
+    }
+
+    // One pending-miss trace event per starvation episode (the first
+    // fruitless scheduler round after useful work), not per probe — the
+    // pending-misses *counter* carries the raw frequency; the event marks
+    // when starvation set in without flooding the ring.
+    if (had_work) {
+      had_work = false;
+      perf::trace_emit(me.trace, perf::trace_kind::pending_miss, w);
     }
 
     // Nothing anywhere: shut down once the manager stopped and no task can
@@ -182,7 +211,7 @@ void thread_manager::worker_main(int w) {
     // visible as idle-rate.
     if (idler.pause()) {
       if (cfg_.idle_park)
-        park_idle();
+        park_idle(w);
       else
         std::this_thread::sleep_for(std::chrono::microseconds(50));
     }
@@ -209,7 +238,8 @@ void thread_manager::notify_work(bool all) {
     park_cv_.notify_one();
 }
 
-bool thread_manager::park_idle() {
+bool thread_manager::park_idle(int w) {
+  perf::trace_ring* const trace = worker(w).trace;
   sleepers_.fetch_add(1, std::memory_order_seq_cst);
   bool parked = false;
   {
@@ -222,6 +252,7 @@ bool thread_manager::park_idle() {
     if (running_.load(std::memory_order_acquire) && policy_->queues_empty(*this)) {
       const std::uint64_t observed = park_epoch_;
       parked = true;
+      perf::trace_emit(trace, perf::trace_kind::park, w);
       park_cv_.wait_for(lock, std::chrono::microseconds(cfg_.idle_park_us),
                         [&] {
                           return park_epoch_ != observed ||
@@ -230,6 +261,7 @@ bool thread_manager::park_idle() {
     }
   }
   sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+  if (parked) perf::trace_emit(trace, perf::trace_kind::unpark, w);
   return parked;
 }
 
@@ -239,25 +271,48 @@ void thread_manager::run_phase(int w, task* t) {
 
   tl_task = t;
   const std::uint64_t t0 = tsc_clock::now();
+
+  // The gap since the previous phase on this worker is that slot's
+  // management overhead (scheduling, queue operations, idle/park time) —
+  // the distribution behind Eq. 3's mean.
+  const std::uint64_t prev_end =
+      me.last_phase_end_ticks.load(std::memory_order_relaxed);
+  if (prev_end != 0 && t0 > prev_end)
+    me.hist_task_overhead.record(
+        static_cast<std::uint64_t>(tsc_clock::to_ns(t0 - prev_end)));
+
+  perf::trace_emit_at(me.trace, t0,
+                      t->phases() == 0 ? perf::trace_kind::task_begin
+                                       : perf::trace_kind::phase_begin,
+                      w, t->id(), 0, t->description());
+
   t->context().resume();
-  const std::uint64_t dt = tsc_clock::now() - t0;
+  const std::uint64_t t1 = tsc_clock::now();
+  const std::uint64_t dt = t1 - t0;
   tl_task = nullptr;
+  me.last_phase_end_ticks.store(t1, std::memory_order_relaxed);
 
   me.counters.exec_ticks.fetch_add(dt, std::memory_order_relaxed);
   me.counters.phases_executed.fetch_add(1, std::memory_order_relaxed);
   t->count_phase();
+  t->add_exec_ticks(dt);
 
   if (t->context().finished()) {
+    perf::trace_emit_at(me.trace, t1, perf::trace_kind::task_end, w, t->id());
+    me.hist_task_duration.record(
+        static_cast<std::uint64_t>(tsc_clock::to_ns(t->exec_ticks())));
     t->finish();
     me.counters.tasks_executed.fetch_add(1, std::memory_order_relaxed);
     retire(t);
     return;
   }
   if (t->consume_yield_request()) {
+    perf::trace_emit_at(me.trace, t1, perf::trace_kind::phase_end, w, t->id(), 1);
     t->requeue_after_yield();
     policy_->enqueue_ready(*this, w, t);
     return;
   }
+  perf::trace_emit_at(me.trace, t1, perf::trace_kind::phase_end, w, t->id(), 2);
   if (!t->finalize_suspend()) {
     // A wake arrived while the task was switching away.
     policy_->enqueue_ready(*this, w, t);
@@ -304,6 +359,9 @@ void thread_manager::reset_counters() {
     wd->counters.reset();
     wd->queue.reset_counts();
     wd->high_queue.reset_counts();
+    wd->hist_task_duration.reset();
+    wd->hist_task_overhead.reset();
+    wd->last_phase_end_ticks.store(0, std::memory_order_relaxed);
   }
   low_queue_.reset_counts();
 }
@@ -409,6 +467,49 @@ void thread_manager::register_counters() {
                    worker(w).high_queue.staged_size_approx();
             return static_cast<double>(n);
           });
+  reg.add("/threads/count/trace-dropped", counter_kind::monotonic,
+          "trace events overwritten by ring wraparound (0 unless tracing "
+          "outran GRAN_TRACE_BUF)",
+          [] { return static_cast<double>(perf::tracer::instance().total_dropped()); });
+
+  // Distribution counters: log2-bucketed histograms of per-task values,
+  // exposed as percentile/mean/count gauges (docs/COUNTERS.md). The spread
+  // these report is exactly what the paper's scalar means (Eqs. 2/3) hide.
+  const auto duration_snap = [this] {
+    perf::histogram_snapshot s;
+    for (const auto& wd : workers_) s += wd->hist_task_duration.snap();
+    return s;
+  };
+  const auto overhead_snap = [this] {
+    perf::histogram_snapshot s;
+    for (const auto& wd : workers_) s += wd->hist_task_overhead.snap();
+    return s;
+  };
+  struct histogram_registration {
+    const char* base;
+    std::function<perf::histogram_snapshot()> snap;
+    const char* what;
+  };
+  const histogram_registration histograms[] = {
+      {"/threads/histogram/task-duration", duration_snap,
+       "task duration (total t_exec per completed task)"},
+      {"/threads/histogram/task-overhead", overhead_snap,
+       "per-slot overhead (non-exec gap between phases)"},
+  };
+  for (const auto& h : histograms) {
+    const std::string base = h.base;
+    const std::string what = h.what;
+    for (const double p : {50.0, 95.0, 99.0}) {
+      const std::string tag = "p" + std::to_string(static_cast<int>(p));
+      reg.add(base + "/" + tag, counter_kind::gauge,
+              tag + " " + what + ", ns",
+              [snap = h.snap, p] { return snap().percentile(p); });
+    }
+    reg.add(base + "/mean", counter_kind::gauge, "mean " + what + ", ns",
+            [snap = h.snap] { return snap().mean(); });
+    reg.add(base + "/count", counter_kind::monotonic, "samples in " + what,
+            [snap = h.snap] { return static_cast<double>(snap().count); });
+  }
 
   // Per-worker instances of the headline counters.
   for (int w = 0; w < num_workers(); ++w) {
@@ -440,6 +541,21 @@ void thread_manager::register_counters() {
             "pending-queue misses on this worker's queues", [wd] {
               return static_cast<double>(wd->queue.counts().pending_misses +
                                          wd->high_queue.counts().pending_misses);
+            });
+    reg.add(inst + "/count/stolen", counter_kind::monotonic,
+            "tasks this worker obtained from another worker's queues", [wd] {
+              return static_cast<double>(
+                  wd->counters.tasks_stolen.load(std::memory_order_relaxed));
+            });
+    for (const double p : {50.0, 95.0, 99.0}) {
+      const std::string tag = "p" + std::to_string(static_cast<int>(p));
+      reg.add(inst + "/histogram/task-duration/" + tag, counter_kind::gauge,
+              tag + " task duration on this worker, ns",
+              [wd, p] { return wd->hist_task_duration.snap().percentile(p); });
+    }
+    reg.add(inst + "/histogram/task-duration/count", counter_kind::monotonic,
+            "task-duration samples on this worker", [wd] {
+              return static_cast<double>(wd->hist_task_duration.count());
             });
   }
 }

@@ -143,9 +143,9 @@ class thread_manager {
   // a producer publishes its push, issues a seq_cst fence, *then* reads the
   // sleeper count — one of the two must observe the other (Dekker).
   void notify_work(bool all = false);
-  // Parks the calling worker for at most cfg_.idle_park_us. Returns false
-  // when the re-probe found work and the park was skipped.
-  bool park_idle();
+  // Parks worker `w` (the caller) for at most cfg_.idle_park_us. Returns
+  // false when the re-probe found work and the park was skipped.
+  bool park_idle(int w);
 
   scheduler_config cfg_;
   std::unique_ptr<scheduling_policy> policy_;

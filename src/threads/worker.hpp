@@ -6,10 +6,15 @@
 #include <atomic>
 #include <cstdint>
 
+#include "perf/histogram.hpp"
 #include "queues/dual_queue.hpp"
 #include "util/cacheline.hpp"
 
 namespace gran {
+
+namespace perf {
+class trace_ring;
+}
 
 class task;
 
@@ -50,6 +55,22 @@ struct worker_data {
   dual_queue<task*, task*> high_queue;
 
   worker_counters counters;
+
+  // Distribution counters (always on; see perf/histogram.hpp):
+  //   task-duration — total t_exec of each completed task, ns;
+  //   task-overhead — the non-exec gap between consecutive phases on this
+  //   worker (scheduling + queue + idle time per slot), ns. Σgaps + Σexec
+  //   reconstructs Σt_func, so the histogram decomposes Eq. 3's mean.
+  perf::log2_histogram hist_task_duration;
+  perf::log2_histogram hist_task_overhead;
+  // End of the previous phase on this worker (TSC ticks); 0 = none yet.
+  // Written by the owning worker, reset externally between measurement
+  // regions — relaxed atomic keeps that handoff race-free.
+  std::atomic<std::uint64_t> last_phase_end_ticks{0};
+
+  // This worker's trace lane; nullptr whenever tracing was disabled at
+  // manager construction (perf/trace.hpp). Not owned.
+  perf::trace_ring* trace = nullptr;
 
   int index = -1;
   int numa_node = 0;

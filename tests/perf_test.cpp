@@ -37,6 +37,31 @@ TEST(CounterPath, ParsesInstance) {
   EXPECT_EQ(p->str(), "/threads{worker#3}/time/average");
 }
 
+TEST(CounterPath, NestedSlashesStayInName) {
+  // Everything after the object segment belongs to the counter name.
+  const auto p = counter_path::parse("/a/b/c/d");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->object, "a");
+  EXPECT_EQ(p->instance, "");
+  EXPECT_EQ(p->name, "b/c/d");
+  EXPECT_EQ(p->str(), "/a/b/c/d");
+}
+
+TEST(CounterPath, EmptyInstanceBraces) {
+  // `{}` parses as an empty instance; str() canonicalizes it away.
+  const auto p = counter_path::parse("/threads{}/name");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->object, "threads");
+  EXPECT_EQ(p->instance, "");
+  EXPECT_EQ(p->name, "name");
+  EXPECT_EQ(p->str(), "/threads/name");
+}
+
+TEST(CounterPath, MissingClosingBrace) {
+  EXPECT_FALSE(counter_path::parse("/threads{worker#1").has_value());
+  EXPECT_FALSE(counter_path::parse("/threads{worker#1/name").has_value());
+}
+
 TEST(CounterPath, RejectsMalformed) {
   EXPECT_FALSE(counter_path::parse("").has_value());
   EXPECT_FALSE(counter_path::parse("threads/count").has_value());  // no leading /
@@ -92,6 +117,38 @@ TEST_F(RegistryTest, ReplaceRegistration) {
   reg.add("/test/x", counter_kind::gauge, "v2", [] { return 2.0; });
   EXPECT_EQ(reg.value_or("/test/x", 0), 2.0);
   EXPECT_EQ(reg.describe("/test/x"), "v2");
+}
+
+TEST_F(RegistryTest, QueryAllByPrefix) {
+  auto& reg = registry::instance();
+  reg.add("/test/a", counter_kind::gauge, "", [] { return 1.0; });
+  reg.add("/test/b", counter_kind::monotonic, "", [] { return 2.0; });
+  reg.add("/test2/c", counter_kind::gauge, "", [] { return 3.0; });
+
+  const auto all = reg.query_all("/test/");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].first, "/test/a");
+  EXPECT_EQ(all[0].second.value, 1.0);
+  EXPECT_EQ(all[1].first, "/test/b");
+  EXPECT_EQ(all[1].second.value, 2.0);
+  // One batch = one shared timestamp across all sampled counters.
+  EXPECT_EQ(all[0].second.timestamp_ns, all[1].second.timestamp_ns);
+  EXPECT_GT(all[0].second.timestamp_ns, 0);
+
+  EXPECT_TRUE(reg.query_all("/nonexistent").empty());
+  reg.remove_prefix("/test2");
+}
+
+TEST_F(RegistryTest, QueryAllSamplesOutsideLock) {
+  // A counter whose sample fn re-enters the registry must not deadlock.
+  auto& reg = registry::instance();
+  reg.add("/test/reentrant", counter_kind::gauge, "",
+          [&reg] { return reg.value_or("/test/plain", -1.0); });
+  reg.add("/test/plain", counter_kind::gauge, "", [] { return 7.0; });
+  const auto all = reg.query_all("/test");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].second.value, 7.0);   // /test/plain
+  EXPECT_EQ(all[1].second.value, 7.0);   // /test/reentrant via nested query
 }
 
 // --- snapshot / interval ----------------------------------------------------------

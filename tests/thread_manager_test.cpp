@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <memory>
 #include <set>
+#include <string>
 #include <thread>
 
 #include "sync/latch.hpp"
@@ -225,6 +226,67 @@ TEST(ThreadManager, PerfCountersRegistered) {
   EXPECT_LE(reg.value_or("/threads/idle-rate", 2), 1.0);
   EXPECT_GE(reg.value_or("/threads{worker#0}/count/cumulative", -1), 0.0);
   EXPECT_FALSE(reg.list("/threads").empty());
+}
+
+TEST(ThreadManager, InstanceCountersSumToAggregate) {
+  // The per-worker {worker#N} instances must decompose the aggregate exactly
+  // — both views read the same per-worker atomics.
+  thread_manager tm(test_config(4));
+  auto& reg = perf::registry::instance();
+  tm.reset_counters();
+  constexpr int n = 400;
+  for (int i = 0; i < n; ++i)
+    tm.spawn([] {
+      volatile double x = 1.0;
+      for (int k = 0; k < 5000; ++k) x = x * 1.0000001 + 0.1;
+    });
+  tm.wait_idle();
+
+  for (const char* name : {"count/cumulative", "count/stolen"}) {
+    const double aggregate =
+        reg.value_or(std::string("/threads/") + name, -1);
+    ASSERT_GE(aggregate, 0.0) << name;
+    double sum = 0;
+    for (int w = 0; w < tm.num_workers(); ++w)
+      sum += reg.value_or(
+          "/threads{worker#" + std::to_string(w) + "}/" + name, 0);
+    EXPECT_EQ(sum, aggregate) << name;
+  }
+  EXPECT_EQ(reg.value_or("/threads/count/cumulative", -1),
+            static_cast<double>(n));
+}
+
+TEST(ThreadManager, TaskDurationHistogramCounters) {
+  thread_manager tm(test_config(2));
+  auto& reg = perf::registry::instance();
+  tm.reset_counters();
+  constexpr int n = 200;
+  for (int i = 0; i < n; ++i)
+    tm.spawn([] {
+      volatile double x = 1.0;
+      for (int k = 0; k < 2000; ++k) x = x * 1.0000001 + 0.1;
+    });
+  tm.wait_idle();
+
+  EXPECT_EQ(reg.value_or("/threads/histogram/task-duration/count", -1),
+            static_cast<double>(n));
+  const double p50 = reg.value_or("/threads/histogram/task-duration/p50", -1);
+  const double p95 = reg.value_or("/threads/histogram/task-duration/p95", -1);
+  const double p99 = reg.value_or("/threads/histogram/task-duration/p99", -1);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GT(reg.value_or("/threads/histogram/task-duration/mean", -1), 0.0);
+  // Overhead histogram records inter-phase gaps: at least one sample once
+  // more than one task ran on a worker.
+  EXPECT_GT(reg.value_or("/threads/histogram/task-overhead/count", -1), 0.0);
+
+  // Per-worker instances exist and their sample counts decompose the total.
+  double inst_count = 0;
+  for (int w = 0; w < tm.num_workers(); ++w)
+    inst_count += reg.value_or(
+        "/threads{worker#" + std::to_string(w) + "}/histogram/task-duration/count", 0);
+  EXPECT_EQ(inst_count, static_cast<double>(n));
 }
 
 TEST(ThreadManager, CountersUnregisteredAfterDestruction) {

@@ -18,6 +18,7 @@
 
 #include "core/experiment.hpp"
 #include "core/selectors.hpp"
+#include "perf/observability.hpp"
 #include "sim/sim_backend.hpp"
 #include "topo/topology.hpp"
 #include "util/cli.hpp"
@@ -41,7 +42,14 @@ void print_usage() {
       "  --policy=NAME      scheduling policy for native runs\n"
       "  --mode=sim         characterize a modeled platform instead\n"
       "  --platform=NAME    sim platform: sandy-bridge|ivy-bridge|haswell|xeon-phi\n"
-      "  --csv=PREFIX       also write PREFIXcharacterize.csv\n";
+      "  --csv=PREFIX       also write PREFIXcharacterize.csv\n"
+      "\n"
+      "observability (native mode; see docs/TRACING.md):\n"
+      "  --trace-out=PATH         export a Chrome/Perfetto trace of the run\n"
+      "  --trace-buf=N            per-worker trace ring capacity, events\n"
+      "  --sample-interval-us=N   background counter sampling period (>0 = on)\n"
+      "  --sample-out=PATH        time-series dump (.csv or .json)\n"
+      "  --sample-set=P1,P2       counter prefixes to sample (default /threads)\n";
 }
 
 }  // namespace
@@ -52,6 +60,9 @@ int main(int argc, char** argv) {
     print_usage();
     return 0;
   }
+
+  perf::observability_session obs(perf::observability_session::options_from_cli(
+      args, perf::observability_session::options_from_env()));
 
   const bool sim_mode = args.get("mode", "native") == "sim";
   const std::string platform = args.get("platform", "haswell");
