@@ -1,25 +1,34 @@
 // The paper's "micro benchmarks" (§I-C: "We obtained similar results from
 // micro benchmarks but for brevity they are not included"): a homogeneous
-// task-size sweep on the NATIVE runtime of this host.
+// task-size sweep with a fixed total amount of busy work.
 //
-// N independent tasks of controllable duration (busy-work loop, no
-// dependencies) are spawned for a fixed total amount of work; the task size
-// sweeps from sub-microsecond to multi-millisecond. The same U-shape and
-// idle-rate behaviour as the stencil emerges without any dependency
-// structure, confirming the effects come from the scheduler, not from the
-// stencil's dataflow graph.
+// The task size sweeps from sub-microsecond to multi-millisecond while the
+// total work stays constant, so the task count shrinks as the grain grows —
+// the same U-shape and idle-rate behaviour as the stencil emerges, and
+// --workload selects the dependence structure it emerges under:
 //
-//   --total-us=N   total busy work in microseconds (default 2e5 = 0.2 s)
-//   --workers=N    worker threads (default: all CPUs)
+//   --workload=NAME  a graph pattern (trivial|serial_chain|stencil1d|fft|
+//                    binary_tree|nearest|spread|random; default stencil1d),
+//                    executed through the shared graph executor in both
+//                    modes; or `independent` for the legacy raw-spawn loop
+//                    (native) / sim_workload::independent (sim) — tasks with
+//                    no graph at all, not even dataflow nodes.
+//   --total-us=N     total busy work in microseconds (default 2e5 = 0.2 s)
+//   --steps=N        graph steps for pattern workloads (default 10)
+//   --workers=N      worker threads (default: all CPUs)
 //   --samples=N
-//   --mode=sim     run the same independent-task sweep on a modeled
-//                  platform instead (--platform=haswell, --cores=28);
-//                  exercises sim_workload::independent.
+//   --mode=sim       run on a modeled platform instead
+//                    (--platform=haswell, --cores: platform's cores)
 #include <atomic>
 #include <iostream>
+#include <memory>
 
 #include "core/experiment.hpp"
+#include "core/graph_experiment.hpp"
+#include "graph/kernels.hpp"
+#include "graph/spec.hpp"
 #include "perf/observability.hpp"
+#include "sim/graph_sim.hpp"
 #include "sim/sim_backend.hpp"
 #include "sync/latch.hpp"
 #include "threads/thread_manager.hpp"
@@ -32,6 +41,9 @@
 using namespace gran;
 
 namespace {
+
+constexpr double k_task_sizes_us[] = {0.5,   2.0,    8.0,     32.0,    128.0,
+                                      512.0, 2'048.0, 8'192.0, 32'768.0};
 
 // Busy-spins for roughly `ns` nanoseconds (calibrated once).
 struct spinner {
@@ -54,13 +66,9 @@ struct spinner {
   }
 };
 
-}  // namespace
-
-namespace {
-
-// Simulator variant: the same task-size sweep as independent tasks on a
-// modeled platform (the paper's micro benchmark at the paper's core counts).
-int run_sim(const cli_args& args) {
+// Simulator variant of the legacy independent workload: the same task-size
+// sweep as dependency-free tasks on a modeled platform.
+int run_sim_independent(const cli_args& args) {
   const std::string platform = args.get("platform", "haswell");
   const int cores = static_cast<int>(args.get_int("cores", 28));
   sim::sim_backend backend(platform);
@@ -90,26 +98,21 @@ int run_sim(const cli_args& args) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const cli_args args(argc, argv);
-  perf::observability_session obs(perf::observability_session::options_from_cli(
-      args, perf::observability_session::options_from_env()));
-  if (args.get("mode", "native") == "sim") return run_sim(args);
+// Legacy native independent workload: raw spawns, not even dataflow nodes.
+int run_native_independent(const cli_args& args) {
   const double total_us = args.get_double("total-us", 200'000.0);
   const int workers = static_cast<int>(args.get_int("workers", 0));
   const int samples = static_cast<int>(args.get_int("samples", 3));
 
   const spinner work;
   std::cout << "Micro grain sweep: " << total_us / 1e3
-            << " ms of busy work split into ever-coarser tasks (native runtime)\n";
+            << " ms of busy work split into ever-coarser tasks (native runtime, "
+               "independent spawns)\n";
 
   table_writer table({"task size (us)", "tasks", "exec time (s)", "COV", "idle-rate (%)",
                       "measured td (us)", "to (us)"});
 
-  for (const double task_us : {0.5, 2.0, 8.0, 32.0, 128.0, 512.0, 2'048.0, 8'192.0,
-                               32'768.0}) {
+  for (const double task_us : k_task_sizes_us) {
     const auto n = static_cast<std::size_t>(total_us / task_us);
     if (n == 0) break;
 
@@ -153,4 +156,93 @@ int main(int argc, char** argv) {
   if (!csv.empty() && table.save_csv(csv + "micro_grain_sweep.csv"))
     std::cout << "(csv written)\n";
   return 0;
+}
+
+// Pattern workloads: the same fixed-total-work sweep through the shared
+// graph executor (native dataflow or simulator), so the dependence
+// structure becomes a dial of the micro benchmark.
+int run_graph_pattern(const cli_args& args, graph::pattern kind) {
+  const bool sim_mode = args.get("mode", "native") == "sim";
+  const double total_us = args.get_double("total-us", 200'000.0);
+  const int samples = static_cast<int>(args.get_int("samples", 3));
+  const auto steps = static_cast<std::uint32_t>(args.get_int("steps", 10));
+
+  std::unique_ptr<core::graph_backend> backend;
+  int cores;
+  if (sim_mode) {
+    const auto model = sim::make_machine_model(args.get("platform", "haswell"));
+    cores = static_cast<int>(args.get_int("cores", model.spec.cores));
+    backend = std::make_unique<sim::graph_sim_backend>(model);
+  } else {
+    cores = static_cast<int>(args.get_int("workers", 0));
+    backend = std::make_unique<core::native_graph_backend>(
+        args.get("policy", "priority-local-fifo"));
+  }
+
+  std::cout << "Micro grain sweep (" << backend->name() << "): " << total_us / 1e3
+            << " ms of busy work as a " << graph::pattern_name(kind)
+            << " graph, ever-coarser tasks\n";
+
+  table_writer table({"task size (us)", "tasks", "edges", "exec time (s)", "COV",
+                      "idle-rate (%)", "measured td (us)", "to (us)"});
+
+  for (const double task_us : k_task_sizes_us) {
+    const auto n = static_cast<std::uint64_t>(total_us / task_us);
+    if (n == 0) break;
+
+    graph::graph_spec g;
+    g.kind = kind;
+    g.steps = steps;
+    g.width = static_cast<std::uint32_t>(std::max<std::uint64_t>(1, n / steps));
+    g.radius = static_cast<std::uint32_t>(args.get_int("radius", 1));
+    g.fraction = args.get_double("fraction", 0.25);
+    g.seed = static_cast<std::uint64_t>(args.get_int("graph-seed", 1));
+
+    graph::kernel_spec k;
+    k.kind = graph::kernel_from_name(args.get("kernel", "busy_spin"));
+    k.grain_ns = task_us * 1e3;
+    k.imbalance = args.get_double("imbalance", 0.0);
+
+    sample_stats times;
+    double idle_sum = 0, td_sum = 0, to_sum = 0;
+    std::uint64_t tasks = 0, edges = 0;
+    for (int s = 0; s < samples; ++s) {
+      const core::graph_run_result r = backend->run(g, k, cores);
+      tasks = r.tasks;
+      edges = r.edges;
+      times.add(r.m.exec_time_s);
+      const double exec = r.m.exec_ns, func = r.m.func_ns;
+      idle_sum += func > 0 ? std::max(0.0, func - exec) / func : 0;
+      const auto nt = static_cast<double>(r.m.tasks);
+      td_sum += nt > 0 ? exec / nt : 0;
+      to_sum += nt > 0 ? std::max(0.0, func - exec) / nt : 0;
+    }
+    table.add_row({format_number(task_us, 1),
+                   format_count(static_cast<std::int64_t>(tasks)),
+                   format_count(static_cast<std::int64_t>(edges)),
+                   format_number(times.mean(), 4), format_number(times.cov(), 3),
+                   format_number(idle_sum / samples * 100, 1),
+                   format_number(td_sum / samples / 1e3, 2),
+                   format_number(to_sum / samples / 1e3, 2)});
+  }
+  table.print(std::cout);
+  const std::string csv = args.get("csv", "");
+  if (!csv.empty() && table.save_csv(csv + "micro_grain_sweep.csv"))
+    std::cout << "(csv written)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cli_args args(argc, argv);
+  perf::observability_session obs(perf::observability_session::options_from_cli(
+      args, perf::observability_session::options_from_env()));
+
+  const std::string workload = args.get("workload", "stencil1d");
+  if (workload == "independent") {
+    if (args.get("mode", "native") == "sim") return run_sim_independent(args);
+    return run_native_independent(args);
+  }
+  return run_graph_pattern(args, graph::pattern_from_name(workload));
 }

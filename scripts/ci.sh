@@ -16,6 +16,18 @@ cmake --build build -j
 echo "=== ci: ctest ==="
 (cd build && ctest --output-on-failure -j "$(nproc)" "$@")
 
+echo "=== ci: graph smoke matrix ==="
+# Every task-graph pattern through both executors at tiny sizes: catches
+# generator/executor regressions that unit sizes miss, in a few seconds.
+for pattern in trivial serial_chain stencil1d fft binary_tree nearest spread random; do
+  for mode in native sim; do
+    ./build/bench/graph_sweep --pattern="$pattern" --mode="$mode" \
+        --width=8 --steps=4 --grain-min=1000 --grain-max=2000 \
+        --samples=1 --workers=2 --cores=4 >/dev/null
+  done
+done
+echo "graph smoke: 8 patterns x {native,sim} ok"
+
 echo "=== ci: tsan ==="
 scripts/tsan_check.sh
 

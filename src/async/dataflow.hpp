@@ -80,15 +80,17 @@ auto dataflow(task_priority priority, F&& f, future<Ts>... inputs) {
                      std::move(inputs)...);
 }
 
-// Vector form: f receives const std::vector<future<T>>&.
+// Vector form: f receives const std::vector<future<T>>&. The _on variant
+// pins the spawn to an explicit manager (the graph executor futurizes
+// whole DAGs on a freshly built pool this way).
 template <typename F, typename T>
-auto dataflow_all(F&& f, std::vector<future<T>> inputs,
-                  task_priority priority = task_priority::normal) {
+auto dataflow_all_on(thread_manager& manager, task_priority priority, F&& f,
+                     std::vector<future<T>> inputs) {
   using R = std::invoke_result_t<std::decay_t<F>, const std::vector<future<T>>&>;
   using U = typename detail::unwrap_result<R>::type;
 
   auto st = std::make_shared<detail::shared_state<U>>();
-  thread_manager* tm = &resolve_manager();
+  thread_manager* tm = &manager;
 
   struct control {
     control(std::decay_t<F> fn, std::vector<future<T>> in)
@@ -124,6 +126,13 @@ auto dataflow_all(F&& f, std::vector<future<T>> inputs,
     });
   }
   return future<U>(st);
+}
+
+template <typename F, typename T>
+auto dataflow_all(F&& f, std::vector<future<T>> inputs,
+                  task_priority priority = task_priority::normal) {
+  return dataflow_all_on(resolve_manager(), priority, std::forward<F>(f),
+                         std::move(inputs));
 }
 
 }  // namespace gran

@@ -102,35 +102,11 @@ std::vector<sweep_point> granularity_experiment::run(const progress_fn& progress
     for (int s = 0; s < cfg_.samples; ++s) {
       const run_measurement meas = backend_.run(p, cfg_.cores);
       point.exec_time_s.add(meas.exec_time_s);
-      acc.exec_time_s += meas.exec_time_s;
-      acc.tasks += meas.tasks;
-      acc.phases += meas.phases;
-      acc.exec_ns += meas.exec_ns;
-      acc.func_ns += meas.func_ns;
-      acc.pending_accesses += meas.pending_accesses;
-      acc.pending_misses += meas.pending_misses;
-      acc.staged_accesses += meas.staged_accesses;
-      acc.staged_misses += meas.staged_misses;
+      accumulate_measurement(acc, meas);
     }
-    const auto n = static_cast<double>(cfg_.samples);
-    acc.exec_time_s /= n;
-    acc.tasks = static_cast<std::uint64_t>(std::llround(static_cast<double>(acc.tasks) / n));
-    acc.phases =
-        static_cast<std::uint64_t>(std::llround(static_cast<double>(acc.phases) / n));
-    acc.exec_ns /= n;
-    acc.func_ns /= n;
-    acc.pending_accesses = static_cast<std::uint64_t>(
-        std::llround(static_cast<double>(acc.pending_accesses) / n));
-    acc.pending_misses = static_cast<std::uint64_t>(
-        std::llround(static_cast<double>(acc.pending_misses) / n));
-    acc.staged_accesses = static_cast<std::uint64_t>(
-        std::llround(static_cast<double>(acc.staged_accesses) / n));
-    acc.staged_misses = static_cast<std::uint64_t>(
-        std::llround(static_cast<double>(acc.staged_misses) / n));
-
-    point.mean = acc;
+    point.mean = average_measurement(acc, cfg_.samples);
     point.cov = point.exec_time_s.cov();
-    point.m = compute_metrics(acc, point.td1_ns);
+    point.m = compute_metrics(point.mean, point.td1_ns);
 
     if (progress) progress(point);
     points.push_back(std::move(point));

@@ -1,6 +1,7 @@
 #include "core/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace gran::core {
 
@@ -23,6 +24,35 @@ metrics compute_metrics(const run_measurement& run, double td1_ns) {
   }
   m.tm_plus_wait_s = m.tm_overhead_s + m.wait_time_s;
   return m;
+}
+
+void accumulate_measurement(run_measurement& acc, const run_measurement& m) {
+  acc.exec_time_s += m.exec_time_s;
+  acc.tasks += m.tasks;
+  acc.phases += m.phases;
+  acc.exec_ns += m.exec_ns;
+  acc.func_ns += m.func_ns;
+  acc.pending_accesses += m.pending_accesses;
+  acc.pending_misses += m.pending_misses;
+  acc.staged_accesses += m.staged_accesses;
+  acc.staged_misses += m.staged_misses;
+}
+
+run_measurement average_measurement(run_measurement acc, int samples) {
+  const auto n = static_cast<double>(std::max(1, samples));
+  const auto mean_u64 = [n](std::uint64_t v) {
+    return static_cast<std::uint64_t>(std::llround(static_cast<double>(v) / n));
+  };
+  acc.exec_time_s /= n;
+  acc.tasks = mean_u64(acc.tasks);
+  acc.phases = mean_u64(acc.phases);
+  acc.exec_ns /= n;
+  acc.func_ns /= n;
+  acc.pending_accesses = mean_u64(acc.pending_accesses);
+  acc.pending_misses = mean_u64(acc.pending_misses);
+  acc.staged_accesses = mean_u64(acc.staged_accesses);
+  acc.staged_misses = mean_u64(acc.staged_misses);
+  return acc;
 }
 
 }  // namespace gran::core

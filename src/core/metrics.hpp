@@ -49,4 +49,9 @@ struct metrics {
 // then reported as 0 — e.g. for the 1-core run itself, where tw ≡ 0).
 metrics compute_metrics(const run_measurement& run, double td1_ns);
 
+// Sample averaging (the paper computes metrics from the *average* of the
+// event counts over repeated samples, §II). Shared by every sweep driver.
+void accumulate_measurement(run_measurement& acc, const run_measurement& m);
+run_measurement average_measurement(run_measurement acc, int samples);
+
 }  // namespace gran::core

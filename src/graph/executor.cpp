@@ -1,0 +1,36 @@
+#include "graph/executor.hpp"
+
+#include "graph/futurize.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace gran::graph {
+
+run_stats run_graph(thread_manager& tm, const graph_spec& g,
+                    const kernel_spec& k, std::size_t window) {
+  GRAN_ASSERT_MSG(g.validate().empty(), "invalid graph spec");
+
+  // Force calibration outside the measured section.
+  (void)calibrated_rates();
+
+  stopwatch clock;
+  auto dag = futurize_dag<std::uint64_t>(
+      tm, g,
+      [&k](std::uint32_t t, std::uint32_t p,
+           const std::vector<future<std::uint64_t>>& in) {
+        std::uint64_t acc = mix64_combine(t, p);
+        for (const auto& f : in) acc = mix64_combine(acc, f.get());
+        return mix64_combine(acc, run_kernel(k, t, p));
+      },
+      window);
+
+  run_stats stats;
+  stats.elapsed_s = clock.elapsed_s();
+  stats.tasks = dag.tasks;
+  stats.edges = dag.edges;
+  for (auto& f : dag.last_row) stats.checksum = mix64_combine(stats.checksum, f.get());
+  return stats;
+}
+
+}  // namespace gran::graph

@@ -1,0 +1,30 @@
+// Native execution of a graph workload: futurize the DAG, run the kernel
+// in every task, and report what actually executed.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/kernels.hpp"
+#include "graph/spec.hpp"
+
+namespace gran {
+class thread_manager;
+}
+
+namespace gran::graph {
+
+struct run_stats {
+  double elapsed_s = 0.0;     // construction through completion of all tasks
+  std::uint64_t tasks = 0;    // dataflow nodes constructed (== spec tasks)
+  std::uint64_t edges = 0;    // dependence inputs wired (== spec edges)
+  std::uint64_t checksum = 0; // combined kernel results (defeats DCE)
+};
+
+// Runs `g` with kernel `k` on `tm`; every task executes run_kernel and
+// folds its inputs' checksums (so a dependence violation or lost task
+// changes the result). `window` bounds live dataflow rows as in
+// futurize_dag. Asserts that the spec validates.
+run_stats run_graph(thread_manager& tm, const graph_spec& g,
+                    const kernel_spec& k, std::size_t window = 0);
+
+}  // namespace gran::graph

@@ -1,0 +1,119 @@
+// Futurizes a parameterized task graph on the real runtime.
+//
+// One dataflow() node is constructed per task, consuming the futures of
+// its step-1 dependence set — the generalization of the pattern
+// stencil::run_futurized uses for the heat ring (which now calls this with
+// the `nearest` spec and a partition payload). The main thread builds the
+// tree serially, step-major, while workers already execute it; an optional
+// construction window bounds live nodes exactly like
+// stencil::params::max_steps_in_flight.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "async/dataflow.hpp"
+#include "async/when_all.hpp"
+#include "graph/spec.hpp"
+
+namespace gran::graph {
+
+template <typename T>
+struct futurized_dag {
+  std::vector<future<T>> last_row;  // ready futures of the final step
+  std::uint64_t tasks = 0;          // dataflow nodes constructed
+  std::uint64_t edges = 0;          // input futures wired
+};
+
+namespace detail {
+
+// Shared construction loop: builds rows `first_step` .. steps-1 over an
+// existing `prev` row (empty when first_step == 0 — roots take no inputs).
+template <typename T, typename Fn>
+futurized_dag<T> futurize_rows(thread_manager& tm, const graph_spec& g,
+                               std::shared_ptr<Fn> body,
+                               std::vector<future<T>> prev,
+                               std::uint32_t first_step, std::size_t window,
+                               task_priority priority) {
+  futurized_dag<T> result;
+  std::vector<std::vector<future<T>>> retired;  // rows awaiting the window
+  std::vector<std::uint32_t> deps;
+  deps.reserve(g.max_fanin());
+
+  for (std::uint32_t t = first_step; t < g.steps; ++t) {
+    std::vector<future<T>> cur(g.width);
+    for (std::uint32_t p = 0; p < g.width; ++p) {
+      g.dependencies(t, p, deps);
+      std::vector<future<T>> inputs;
+      inputs.reserve(deps.size());
+      for (const std::uint32_t d : deps) inputs.push_back(prev[d]);
+      result.edges += deps.size();
+      ++result.tasks;
+      cur[p] = dataflow_all_on(
+          tm, priority,
+          [body, t, p](const std::vector<future<T>>& in) {
+            return (*body)(t, p, in);
+          },
+          std::move(inputs));
+    }
+    if (!prev.empty()) {
+      retired.push_back(std::move(prev));
+      if (window > 0 && retired.size() > window) {
+        when_all(retired.front()).wait();
+        retired.erase(retired.begin());
+      }
+    }
+    prev = std::move(cur);
+  }
+
+  // Wait for *every* task: rows of a disconnected pattern (trivial, some
+  // random roots) may outlive the final row's completion.
+  for (auto& row : retired) when_all(row).wait();
+  when_all(prev).wait();
+  result.last_row = std::move(prev);
+  return result;
+}
+
+}  // namespace detail
+
+// Builds and executes graph `g` on `tm`. `fn` is the task body:
+//
+//   T fn(std::uint32_t step, std::uint32_t point,
+//        const std::vector<future<T>>& inputs)
+//
+// where `inputs` are the ready futures of dependencies(step, point) in the
+// spec's (ascending) order — empty for roots. Every task has completed
+// when this returns; the spec should be validate()d beforehand.
+//
+// `window` > 0 bounds live dataflow rows: construction of row t waits for
+// row t-window-1 to finish (no barrier in the *execution* — the wavefront
+// keeps pipelining inside the window).
+template <typename T, typename Fn>
+futurized_dag<T> futurize_dag(thread_manager& tm, const graph_spec& g, Fn fn,
+                              std::size_t window = 0,
+                              task_priority priority = task_priority::normal) {
+  // Tasks may still be running when construction finishes; they share
+  // ownership of the body instead of referencing this frame.
+  auto body = std::make_shared<Fn>(std::move(fn));
+  return detail::futurize_rows<T>(tm, g, std::move(body), std::vector<future<T>>{},
+                                  /*first_step=*/0, window, priority);
+}
+
+// Variant with a seed row: `seed` (size == g.width) stands in for step 0 —
+// its futures are consumed by step 1's dependence sets, and only steps
+// 1 .. steps-1 become tasks (result.tasks == width * (steps - 1)). This is
+// how the heat stencil runs on the shared executor: the initial partitions
+// are ready futures, not tasks, exactly like HPX-Stencil.
+template <typename T, typename Fn>
+futurized_dag<T> futurize_dag_seeded(thread_manager& tm, const graph_spec& g,
+                                     Fn fn, std::vector<future<T>> seed,
+                                     std::size_t window = 0,
+                                     task_priority priority = task_priority::normal) {
+  auto body = std::make_shared<Fn>(std::move(fn));
+  return detail::futurize_rows<T>(tm, g, std::move(body), std::move(seed),
+                                  /*first_step=*/1, window, priority);
+}
+
+}  // namespace gran::graph

@@ -1,0 +1,144 @@
+#include "graph/kernels.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace gran::graph {
+
+namespace {
+
+const char* const k_kernel_names[] = {"busy_spin", "memory_stream", "dgemm_like"};
+
+// --- the work loops --------------------------------------------------------
+
+// Floating-point spin; `volatile` keeps the loop honest under -O2.
+std::uint64_t spin_loop(long iters) noexcept {
+  volatile double acc = 1.0;
+  for (long i = 0; i < iters; ++i) acc = acc * 1.0000001 + 0.1;
+  std::uint64_t bits;
+  const double v = acc;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+// Read-modify-write pass over `bytes` of a thread-local buffer (capped so
+// wild grains cannot exhaust memory; larger targets loop the buffer).
+constexpr std::size_t k_stream_cap_bytes = 8u << 20;
+
+std::uint64_t stream_loop(std::size_t bytes) noexcept {
+  thread_local std::vector<std::uint64_t> buf;
+  const std::size_t want_words =
+      std::max<std::size_t>(64, std::min(bytes, k_stream_cap_bytes) / 8);
+  if (buf.size() < want_words) buf.resize(want_words, 0x9e3779b97f4a7c15ull);
+  std::uint64_t acc = 0;
+  std::size_t remaining_words = bytes / 8;
+  while (remaining_words > 0) {
+    const std::size_t n = std::min(remaining_words, want_words);
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += buf[i];
+      buf[i] = acc ^ (buf[i] >> 1);
+    }
+    remaining_words -= n;
+  }
+  return acc;
+}
+
+// One blocked 8x8 matrix multiply = 2*8^3 = 1024 flops.
+constexpr int k_dgemm_n = 8;
+constexpr double k_dgemm_block_flops = 2.0 * k_dgemm_n * k_dgemm_n * k_dgemm_n;
+
+std::uint64_t dgemm_loop(long blocks) noexcept {
+  thread_local double a[k_dgemm_n][k_dgemm_n], b[k_dgemm_n][k_dgemm_n],
+      c[k_dgemm_n][k_dgemm_n];
+  thread_local bool init = false;
+  if (!init) {
+    for (int i = 0; i < k_dgemm_n; ++i)
+      for (int j = 0; j < k_dgemm_n; ++j) {
+        a[i][j] = 1.0 + 0.01 * i + 0.001 * j;
+        b[i][j] = 1.0 - 0.01 * j + 0.001 * i;
+        c[i][j] = 0.0;
+      }
+    init = true;
+  }
+  for (long r = 0; r < blocks; ++r)
+    for (int i = 0; i < k_dgemm_n; ++i)
+      for (int j = 0; j < k_dgemm_n; ++j) {
+        double s = c[i][j] * 1e-9;  // feed back so blocks cannot be hoisted
+        for (int k = 0; k < k_dgemm_n; ++k) s += a[i][k] * b[k][j];
+        c[i][j] = s;
+      }
+  std::uint64_t bits;
+  std::memcpy(&bits, &c[0][0], sizeof bits);
+  return bits;
+}
+
+// --- calibration -----------------------------------------------------------
+
+template <typename F>
+double rate_per_ns(F&& body, double units_per_call) {
+  // One warmup, then measure; calibration runs once per process so a few
+  // milliseconds of probing is fine.
+  body();
+  const std::uint64_t t0 = tsc_clock::now();
+  body();
+  const double ns =
+      std::max(1.0, static_cast<double>(tsc_clock::to_ns(tsc_clock::now() - t0)));
+  return units_per_call / ns;
+}
+
+kernel_rates measure_rates() {
+  kernel_rates r;
+  constexpr long spin_probe = 2'000'000;
+  r.spin_iters_per_ns = rate_per_ns([] { spin_loop(spin_probe); },
+                                    static_cast<double>(spin_probe));
+  constexpr std::size_t stream_probe = 4u << 20;
+  r.stream_bytes_per_ns = rate_per_ns([] { stream_loop(stream_probe); },
+                                      static_cast<double>(stream_probe));
+  constexpr long dgemm_probe = 20'000;
+  r.dgemm_flops_per_ns = rate_per_ns([] { dgemm_loop(dgemm_probe); },
+                                     dgemm_probe * k_dgemm_block_flops);
+  return r;
+}
+
+}  // namespace
+
+const char* kernel_name(kernel_kind k) noexcept {
+  return k_kernel_names[static_cast<int>(k)];
+}
+
+kernel_kind kernel_from_name(const std::string& name) {
+  for (int i = 0; i < 3; ++i)
+    if (name == k_kernel_names[i]) return static_cast<kernel_kind>(i);
+  throw std::invalid_argument("unknown kernel: " + name);
+}
+
+const kernel_rates& calibrated_rates() {
+  static const kernel_rates rates = measure_rates();
+  return rates;
+}
+
+std::uint64_t run_kernel(const kernel_spec& k, std::uint32_t step,
+                         std::uint32_t point) {
+  const double target_ns = std::max(0.0, task_grain_ns(k, step, point));
+  const kernel_rates& r = calibrated_rates();
+  switch (k.kind) {
+    case kernel_kind::busy_spin:
+      return spin_loop(static_cast<long>(target_ns * r.spin_iters_per_ns));
+    case kernel_kind::memory_stream:
+      return stream_loop(
+          static_cast<std::size_t>(target_ns * r.stream_bytes_per_ns));
+    case kernel_kind::dgemm_like:
+      // Quantized to whole 8x8 blocks (~1 Kflop each); busy_spin is the
+      // precise dial for sub-block grains.
+      return dgemm_loop(std::max<long>(
+          1, static_cast<long>(target_ns * r.dgemm_flops_per_ns /
+                               k_dgemm_block_flops)));
+  }
+  return 0;
+}
+
+}  // namespace gran::graph

@@ -1,0 +1,64 @@
+// Pluggable per-task work for the graph workloads.
+//
+// The dependence pattern (graph/spec.hpp) and the task grain are
+// independent dials: a kernel_spec fixes *what one task costs* — a target
+// duration, a work kind, and an imbalance knob — so a granularity sweep
+// (the paper's td axis) can be run against any pattern. Kernels are
+// calibrated once per process against this host's measured rates; the
+// simulator charges the same target durations in virtual time instead
+// (sim/graph_sim.hpp), so both executors agree on the intended grain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace gran::graph {
+
+enum class kernel_kind : int {
+  busy_spin,      // pure compute: calibrated floating-point loop
+  memory_stream,  // read-modify-write pass over a buffer (bandwidth-bound)
+  dgemm_like,     // blocked 8x8 matrix-multiply loop (FLOP-bound)
+};
+
+const char* kernel_name(kernel_kind k) noexcept;
+// Throws std::invalid_argument on unknown names.
+kernel_kind kernel_from_name(const std::string& name);
+
+struct kernel_spec {
+  kernel_kind kind = kernel_kind::busy_spin;
+  double grain_ns = 2'000.0;  // target duration of one task (the td dial)
+  // Per-task grain spread: task (t,p) targets grain_ns * (1 + imbalance*u),
+  // u deterministic in [-1, 1) from (seed, t, p). 0 = homogeneous tasks.
+  double imbalance = 0.0;
+  std::uint64_t seed = 1;
+};
+
+// Deterministic target duration of task (step, point) — the imbalance dial
+// applied to the base grain. Both executors use this same value.
+inline double task_grain_ns(const kernel_spec& k, std::uint32_t step,
+                            std::uint32_t point) noexcept {
+  if (k.imbalance == 0.0) return k.grain_ns;
+  const std::uint64_t h =
+      mix64(mix64_combine(mix64_combine(k.seed, step), point));
+  return k.grain_ns * (1.0 + k.imbalance * (2.0 * mix64_to_unit(h) - 1.0));
+}
+
+// Executes the work of task (step, point) on the calling thread for
+// approximately task_grain_ns(...) nanoseconds; returns a checksum that
+// depends on the computed values (defeats dead-code elimination and feeds
+// the executors' result hashes). Calibrates lazily on first use per kind;
+// thread-safe.
+std::uint64_t run_kernel(const kernel_spec& k, std::uint32_t step,
+                         std::uint32_t point);
+
+// Measured calibration rates of this host (exposed for tests/benches).
+struct kernel_rates {
+  double spin_iters_per_ns = 0.0;    // busy_spin loop iterations
+  double stream_bytes_per_ns = 0.0;  // memory_stream traversal
+  double dgemm_flops_per_ns = 0.0;   // dgemm_like arithmetic
+};
+const kernel_rates& calibrated_rates();
+
+}  // namespace gran::graph

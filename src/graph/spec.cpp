@@ -1,0 +1,213 @@
+#include "graph/spec.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace gran::graph {
+
+namespace {
+
+const char* const k_pattern_names[num_patterns] = {
+    "trivial", "serial_chain", "stencil1d", "fft",
+    "binary_tree", "nearest", "spread", "random",
+};
+
+// floor(log2(w)) for w >= 1.
+std::uint32_t log2_floor(std::uint32_t w) noexcept {
+  std::uint32_t l = 0;
+  while (w >>= 1) ++l;
+  return l;
+}
+
+void push_unique_sorted(std::vector<std::uint32_t>& out, std::uint32_t v) {
+  const auto it = std::lower_bound(out.begin(), out.end(), v);
+  if (it == out.end() || *it != v) out.insert(it, v);
+}
+
+}  // namespace
+
+const char* pattern_name(pattern p) noexcept {
+  return k_pattern_names[static_cast<int>(p)];
+}
+
+pattern pattern_from_name(const std::string& name) {
+  for (int i = 0; i < num_patterns; ++i)
+    if (name == k_pattern_names[i]) return static_cast<pattern>(i);
+  throw std::invalid_argument("unknown graph pattern: " + name);
+}
+
+void graph_spec::dependencies(std::uint32_t step, std::uint32_t point,
+                              std::vector<std::uint32_t>& out) const {
+  out.clear();
+  GRAN_ASSERT(point < width && step < steps);
+  if (step == 0) return;  // roots: created directly, no inputs
+
+  switch (kind) {
+    case pattern::trivial:
+      return;
+
+    case pattern::serial_chain:
+      out.push_back(point);
+      return;
+
+    case pattern::stencil1d: {
+      // Clipped window [point-radius, point+radius] ∩ [0, width).
+      const std::uint32_t lo = point > radius ? point - radius : 0;
+      const std::uint32_t hi = std::min<std::uint64_t>(
+          static_cast<std::uint64_t>(point) + radius, width - 1);
+      for (std::uint32_t q = lo; q <= hi; ++q) out.push_back(q);
+      return;
+    }
+
+    case pattern::fft: {
+      // Butterfly exchange at distance 2^((step-1) mod log2 W); width 1
+      // degenerates to a serial chain.
+      const std::uint32_t levels = std::max<std::uint32_t>(1, log2_floor(width));
+      const std::uint32_t d = 1u << ((step - 1) % levels);
+      if (point >= d) out.push_back(point - d);
+      push_unique_sorted(out, point);
+      if (static_cast<std::uint64_t>(point) + d < width)
+        out.push_back(point + d);
+      return;
+    }
+
+    case pattern::binary_tree: {
+      // Reduction fold on a fixed-width grid: consume children 2p, 2p+1
+      // while they exist; points past the fold carry their own column.
+      const std::uint64_t c0 = 2ull * point;
+      if (c0 < width) {
+        out.push_back(static_cast<std::uint32_t>(c0));
+        if (c0 + 1 < width) out.push_back(static_cast<std::uint32_t>(c0 + 1));
+      } else {
+        out.push_back(point);
+      }
+      return;
+    }
+
+    case pattern::nearest: {
+      // Periodic ring of the 2r+1 closest points (this is the heat-ring
+      // dependence of stencil::run_futurized at radius 1): offsets -r..+r
+      // mod width, deduplicated when the window wraps onto itself.
+      if (2ull * radius + 1 >= width) {  // window covers the whole row
+        for (std::uint32_t q = 0; q < width; ++q) out.push_back(q);
+        return;
+      }
+      const std::uint32_t r = radius;
+      for (std::int64_t off = -static_cast<std::int64_t>(r);
+           off <= static_cast<std::int64_t>(r); ++off) {
+        const std::uint32_t q = static_cast<std::uint32_t>(
+            ((static_cast<std::int64_t>(point) + off) % width + width) % width);
+        push_unique_sorted(out, q);
+      }
+      return;
+    }
+
+    case pattern::spread: {
+      // K = max(1, radius) dependencies fanned evenly across the row, the
+      // whole comb shifting by one point per step (Task Bench "spread").
+      const std::uint32_t k_deps = std::min<std::uint32_t>(
+          std::max<std::uint32_t>(1, radius), width);
+      for (std::uint32_t j = 0; j < k_deps; ++j) {
+        const std::uint64_t q =
+            (static_cast<std::uint64_t>(point) + step +
+             static_cast<std::uint64_t>(j) * width / k_deps) %
+            width;
+        push_unique_sorted(out, static_cast<std::uint32_t>(q));
+      }
+      return;
+    }
+
+    case pattern::random: {
+      // Each candidate edge inside the periodic window of `radius` around
+      // the point is present with probability `fraction`, decided by a
+      // stateless hash of (seed, step, point, candidate) — O(window) to
+      // query, identical for every executor, reproducible per seed. Tasks
+      // whose window draws no edge become mid-graph roots (valid: they are
+      // simply created by the main thread like step-0 tasks).
+      const std::uint32_t r = std::min(radius, width - 1);
+      for (std::int64_t off = -static_cast<std::int64_t>(r);
+           off <= static_cast<std::int64_t>(r); ++off) {
+        const std::uint32_t q = static_cast<std::uint32_t>(
+            ((static_cast<std::int64_t>(point) + off) % width + width) % width);
+        const std::uint64_t h = mix64_combine(
+            mix64_combine(seed, step), mix64_combine(point, q));
+        if (mix64_to_unit(mix64(h)) < fraction) push_unique_sorted(out, q);
+      }
+      return;
+    }
+  }
+  GRAN_ASSERT_MSG(false, "unhandled graph pattern");
+}
+
+std::uint32_t graph_spec::max_fanin() const noexcept {
+  switch (kind) {
+    case pattern::trivial: return 0;
+    case pattern::serial_chain: return 1;
+    case pattern::stencil1d:
+    case pattern::nearest:
+    case pattern::random: return std::min<std::uint64_t>(2ull * radius + 1, width);
+    case pattern::fft: return 3;
+    case pattern::binary_tree: return 2;
+    case pattern::spread: return std::min(std::max<std::uint32_t>(1, radius), width);
+  }
+  return 0;
+}
+
+std::uint64_t graph_spec::total_edges() const {
+  std::uint64_t edges = 0;
+  std::vector<std::uint32_t> deps;
+  deps.reserve(max_fanin());
+  for (std::uint32_t t = 1; t < steps; ++t)
+    for (std::uint32_t p = 0; p < width; ++p) {
+      dependencies(t, p, deps);
+      edges += deps.size();
+    }
+  return edges;
+}
+
+std::string graph_spec::validate() const {
+  if (width < 1) return "width must be >= 1";
+  if (steps < 1) return "steps must be >= 1";
+  if (fraction < 0.0 || fraction > 1.0) return "fraction must be in [0, 1]";
+
+  std::vector<std::uint32_t> deps;
+  deps.reserve(max_fanin());
+  const auto at = [](std::uint32_t t, std::uint32_t p) {
+    return "task (" + std::to_string(t) + ", " + std::to_string(p) + ")";
+  };
+  for (std::uint32_t t = 0; t < steps; ++t)
+    for (std::uint32_t p = 0; p < width; ++p) {
+      dependencies(t, p, deps);
+      if (t == 0 && !deps.empty())
+        return at(t, p) + ": step-0 tasks must have no dependencies";
+      if (deps.size() > max_fanin())
+        return at(t, p) + ": fanin exceeds max_fanin()";
+      for (std::size_t i = 0; i < deps.size(); ++i) {
+        if (deps[i] >= width)
+          return at(t, p) + ": dependence on out-of-range point " +
+                 std::to_string(deps[i]);
+        if (i > 0 && deps[i] <= deps[i - 1])
+          return at(t, p) + ": dependence set not strictly ascending";
+      }
+    }
+  return {};
+}
+
+std::string graph_spec::describe() const {
+  std::string s = pattern_name(kind);
+  s += "(w=" + std::to_string(width) + ",s=" + std::to_string(steps);
+  if (kind == pattern::stencil1d || kind == pattern::nearest ||
+      kind == pattern::spread || kind == pattern::random)
+    s += ",r=" + std::to_string(radius);
+  if (kind == pattern::random) {
+    s += ",f=" + std::to_string(fraction);
+    s += ",seed=" + std::to_string(seed);
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace gran::graph

@@ -1,0 +1,86 @@
+// Parameterized task-graph workloads (Task-Bench-style).
+//
+// A graph_spec describes a family of dependence patterns over a fixed
+// (width × steps) grid of tasks: task (step, point) may depend only on
+// tasks of step-1, and the dependence set of any task is computable in
+// O(fanin) without materializing the graph — exactly Task Bench's
+// "parameterized task graph" idea ("Task Bench: A Parameterized Benchmark
+// for Evaluating Parallel Runtime Performance"). One spec drives both the
+// native futurized executor (graph/executor.hpp) and the discrete-event
+// simulator (sim/graph_sim.hpp), so every pattern can be characterized
+// with the paper's Eq. 1–6 methodology on the real runtime and on all four
+// modeled platforms.
+//
+// The 1-D heat stencil the paper measures is the `nearest` pattern with
+// radius 1 (periodic 3-point ring); the paper's "micro benchmarks" of
+// independent tasks are `trivial`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gran::graph {
+
+// Dependence patterns. Names follow Task Bench terminology where one
+// exists (see docs/WORKLOADS.md for the full catalog and mapping).
+enum class pattern : int {
+  trivial,       // no edges: width independent tasks per step
+  serial_chain,  // (t,p) <- (t-1,p): width independent chains
+  stencil1d,     // (t,p) <- (t-1, p-r .. p+r), clipped at the boundaries
+  fft,           // butterfly: (t,p) <- (t-1, {p, p±2^((t-1) mod log2 W)})
+  binary_tree,   // reduction fold: (t,p) <- (t-1, {2p, 2p+1}), else carry self
+  nearest,       // periodic ring of the 2r+1 closest points (the heat ring)
+  spread,        // K deps fanned across the row, shifting by one each step
+  random,        // each in-window edge present with probability `fraction`
+};
+
+inline constexpr pattern all_patterns[] = {
+    pattern::trivial, pattern::serial_chain, pattern::stencil1d, pattern::fft,
+    pattern::binary_tree, pattern::nearest,  pattern::spread,    pattern::random,
+};
+inline constexpr int num_patterns = 8;
+
+// "stencil1d" <-> pattern::stencil1d etc. pattern_from_name throws
+// std::invalid_argument on unknown names.
+const char* pattern_name(pattern p) noexcept;
+pattern pattern_from_name(const std::string& name);
+
+struct graph_spec {
+  pattern kind = pattern::stencil1d;
+  std::uint32_t width = 64;   // tasks per step (points)
+  std::uint32_t steps = 16;   // time steps (>= 1); total tasks = width*steps
+  std::uint32_t radius = 1;   // stencil1d/nearest window; spread fan count
+  double fraction = 0.25;     // random: per-candidate edge probability
+  std::uint64_t seed = 1;     // random: structure seed (same seed = same DAG)
+
+  // Appends the dependence set of task (step, point) to `out` (cleared
+  // first): the points of step-1 this task consumes, in ascending point
+  // order, without duplicates. Step 0 never has dependencies. O(fanin);
+  // deterministic for a fixed spec.
+  void dependencies(std::uint32_t step, std::uint32_t point,
+                    std::vector<std::uint32_t>& out) const;
+
+  // Upper bound on any task's fanin (scratch-buffer sizing).
+  std::uint32_t max_fanin() const noexcept;
+
+  std::uint64_t total_tasks() const noexcept {
+    return static_cast<std::uint64_t>(width) * steps;
+  }
+
+  // Total dependence-edge count, by walking every task's set: O(V + E).
+  std::uint64_t total_edges() const;
+
+  // Validation pass: walks the whole graph and checks structural invariants
+  // (positive dimensions, fraction in [0,1], every dependence inside
+  // [0, width), ascending and duplicate-free — which together rule out
+  // self and forward edges, since dependencies only ever name step-1).
+  // Returns an empty string when the spec is valid, else a description of
+  // the first violation.
+  std::string validate() const;
+
+  // One-line human-readable description ("random(w=64,s=16,r=1,f=0.25,seed=1)").
+  std::string describe() const;
+};
+
+}  // namespace gran::graph

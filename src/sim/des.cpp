@@ -1,539 +1,84 @@
 #include "sim/des.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <deque>
-#include <limits>
-#include <queue>
-#include <unordered_map>
-#include <vector>
+#include <cstdint>
 
+#include "sim/des_engine.hpp"
 #include "util/assert.hpp"
 
 namespace gran::sim {
 
 namespace {
 
-using time_ns = std::int64_t;
+using detail::id_part;
+using detail::id_step;
+using detail::task_id;
 
-// Task identity: (step, partition) packed into 64 bits.
-inline std::uint64_t task_id(std::uint64_t step, std::uint64_t part) {
-  return (step << 32) | part;
-}
-inline std::uint32_t id_step(std::uint64_t id) { return static_cast<std::uint32_t>(id >> 32); }
-inline std::uint32_t id_part(std::uint64_t id) {
-  return static_cast<std::uint32_t>(id & 0xffffffffu);
-}
-
-// splitmix64: deterministic per-task jitter hash.
-inline std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-struct core_state {
-  time_ns now = 0;
-  int numa = 0;
-  std::deque<std::uint64_t> staged;
-  std::deque<std::uint64_t> pending;
-  // Per-core queue instrumentation (aggregated into the measurement).
-  std::uint64_t pending_accesses = 0;
-  std::uint64_t pending_misses = 0;
-  std::uint64_t staged_accesses = 0;
-  std::uint64_t staged_misses = 0;
-};
-
-struct completion_event {
-  time_ns at;
-  int core;
-  std::uint64_t task;
-  bool operator>(const completion_event& o) const { return at > o.at; }
-};
-
-struct schedule_event {
-  time_ns at;
-  int core;
-  bool operator>(const schedule_event& o) const { return at > o.at; }
-};
-
-// A task whose dependencies are met but whose dataflow node the (serial)
-// main thread has not constructed yet; it becomes visible at `at`.
-struct deferred_stage {
-  time_ns at;
-  int core;  // worker whose staged queue receives it
-  std::uint64_t task;
-  bool operator>(const deferred_stage& o) const { return at > o.at; }
-};
-
-class stencil_sim {
+// The heat-ring dependence structure (paper Fig. 2): task (t, b) depends on
+// partitions b-1, b, b+1 of step t-1, periodic. `independent` drops every
+// edge, turning it into the paper's micro benchmark (§I-C): same tasks,
+// same sizes, no dataflow.
+class stencil_workload {
  public:
-  explicit stencil_sim(const sim_config& cfg)
-      : cfg_(cfg),
+  explicit stencil_workload(const sim_config& cfg)
+      : model_(cfg.model),
         np_(cfg.workload.num_partitions()),
         steps_(cfg.workload.time_steps),
         points_(cfg.workload.partition_size),
-        num_cores_(std::max(1, std::min(cfg.cores, cfg.model.spec.cores))),
-        distinct_preds_(static_cast<int>(std::min<std::size_t>(np_, 3))) {
-    cores_.resize(static_cast<std::size_t>(num_cores_));
-    const int domains =
-        std::max(1, std::min(cfg.model.spec.numa_domains, num_cores_));
-    for (int c = 0; c < num_cores_; ++c)
-      cores_[static_cast<std::size_t>(c)].numa = c * domains / num_cores_;
-    numa_members_.resize(static_cast<std::size_t>(domains));
-    for (int c = 0; c < num_cores_; ++c) {
-      numa_members_[static_cast<std::size_t>(cores_[static_cast<std::size_t>(c)].numa)]
-          .push_back(c);
-      all_cores_.push_back(c);
-    }
-    deps_.reserve(np_ * 2 + 16);
+        total_points_(cfg.workload.total_points),
+        independent_(cfg.workload_kind == sim_workload::independent),
+        distinct_preds_(static_cast<int>(std::min<std::uint64_t>(np_, 3))) {}
 
-    // Bake the shared-structure contention factor into the management
-    // costs: base * (1 + contention_per_core * (cores - 1)).
-    const double scale =
-        1.0 + cfg_.model.contention_per_core * static_cast<double>(num_cores_ - 1);
-    model_cost_.task_create_ns *= scale;
-    model_cost_.task_convert_ns *= scale;
-    model_cost_.queue_op_ns *= scale;
-    model_cost_.task_switch_ns *= scale;
-    model_cost_.dependency_ns *= scale;
+  std::uint64_t total_tasks() const { return np_ * steps_; }
+
+  std::uint64_t construction_ordinal(std::uint64_t id) const {
+    return static_cast<std::uint64_t>(id_step(id)) * np_ + id_part(id);
   }
 
-  sim_result run() {
-    // Step-0 tasks appear as the main thread constructs their dataflow
-    // nodes (serially, step-major order), distributed round-robin — the
-    // external spawner's placement in the native policy. The construction
-    // time is the main thread's, not a worker's. The independent workload
-    // has no dependency edges, so *every* task enters this way.
-    const std::uint64_t initial_steps =
-        cfg_.workload_kind == sim_workload::independent ? steps_ : 1;
-    for (std::uint64_t t = 0; t < initial_steps; ++t) {
-      for (std::uint64_t b = 0; b < np_; ++b) {
-        const std::uint64_t id = task_id(t, b);
-        const auto target = static_cast<int>((t * np_ + b) %
-                                             static_cast<std::uint64_t>(num_cores_));
-        deferred_.push({creation_time(id), target, id});
-      }
-    }
+  template <typename F>
+  void for_each_root(F&& f) const {
+    // The independent workload has no dependency edges, so *every* task is
+    // a root; the stencil seeds only step 0.
+    const std::uint64_t root_steps = independent_ ? steps_ : 1;
+    for (std::uint64_t t = 0; t < root_steps; ++t)
+      for (std::uint64_t b = 0; b < np_; ++b) f(task_id(t, b));
+  }
 
-    for (int c = 0; c < num_cores_; ++c) schedule_.push({0, c});
+  int fanin(std::uint64_t /*id*/) const { return distinct_preds_; }
 
-    const std::uint64_t total_tasks = np_ * steps_;
-    while (tasks_done_ < total_tasks) {
-      // Advance whichever event comes first; work-producing events
-      // (deferred stages, completions) break ties against scheduler wakes
-      // so new work is visible to workers waking at the same instant.
-      const time_ns t_def =
-          deferred_.empty() ? std::numeric_limits<time_ns>::max() : deferred_.top().at;
-      const time_ns t_cmp = completions_.empty() ? std::numeric_limits<time_ns>::max()
-                                                 : completions_.top().at;
-      const time_ns t_sch =
-          schedule_.empty() ? std::numeric_limits<time_ns>::max() : schedule_.top().at;
-      if (t_def <= t_cmp && t_def <= t_sch) {
-        const deferred_stage ev = deferred_.top();
-        deferred_.pop();
-        on_deferred(ev);
-      } else if (t_cmp <= t_sch) {
-        const completion_event ev = completions_.top();
-        completions_.pop();
-        on_complete(ev);
-      } else {
-        GRAN_ASSERT_MSG(!schedule_.empty(), "simulation deadlock: no events");
-        const schedule_event ev = schedule_.top();
-        schedule_.pop();
-        on_schedule(ev);
-      }
-    }
+  template <typename F>
+  void for_each_dependent(std::uint64_t id, F&& f) const {
+    if (independent_) return;  // no edges
+    const std::uint32_t t = id_step(id);
+    const std::uint64_t b = id_part(id);
+    if (t + 1 >= steps_) return;
+    const std::uint64_t candidates[3] = {(b + np_ - 1) % np_, b, (b + 1) % np_};
+    // Symmetric 3-point ring: the first distinct_preds candidates are the
+    // distinct dependents.
+    for (int i = 0; i < distinct_preds_; ++i)
+      f(task_id(t + 1, candidates[static_cast<std::size_t>(i)]));
+  }
 
-    sim_result result;
-    result.makespan_s = static_cast<double>(makespan_) * 1e-9;
-    result.tasks_stolen = stolen_;
-    result.tasks_converted = converted_;
+  double exec_ns(std::uint64_t /*id*/, int active_streams, int total_cores) const {
+    return model_.task_exec_ns(points_, active_streams, total_cores);
+  }
 
-    core::run_measurement& m = result.measurement;
-    m.exec_time_s = result.makespan_s;
-    m.cores = num_cores_;
-    m.tasks = tasks_done_;
-    m.phases = tasks_done_;  // stencil tasks never suspend: 1 phase each
-    m.exec_ns = exec_ns_total_;
-    m.func_ns = static_cast<double>(makespan_) * num_cores_;
-    for (const core_state& c : cores_) {
-      m.pending_accesses += c.pending_accesses;
-      m.pending_misses += c.pending_misses;
-      m.staged_accesses += c.staged_accesses;
-      m.staged_misses += c.staged_misses;
-    }
-    return result;
+  double exec_single_core_ns(std::uint64_t /*id*/) const {
+    return model_.task_exec_single_core_ns(points_, total_points_);
+  }
+
+  std::size_t fanin_reserve_hint() const {
+    return static_cast<std::size_t>(np_ * 2 + 16);
   }
 
  private:
-  // --- workload graph ------------------------------------------------------
-
-  // Called when task `id` completes on `core` at its current time; stages
-  // every dependent whose three predecessors are now all complete.
-  void signal_dependents(int core, std::uint64_t id) {
-    if (cfg_.workload_kind == sim_workload::independent) return;  // no edges
-    const std::uint32_t t = id_step(id);
-    const std::uint32_t b = id_part(id);
-    if (t + 1 >= steps_) return;
-    core_state& cs = cores_[static_cast<std::size_t>(core)];
-
-    const std::uint64_t npu = np_;
-    const std::uint64_t candidates[3] = {(b + npu - 1) % npu, b, (b + 1) % npu};
-    const int n_dependents = distinct_preds_;  // symmetric 3-point ring
-    for (int i = 0; i < n_dependents; ++i) {
-      const std::uint64_t dep_id = task_id(t + 1, candidates[static_cast<std::size_t>(i)]);
-      cs.now += model_cost_.dependency_ns;
-      auto [it, inserted] = deps_.try_emplace(dep_id, distinct_preds_);
-      if (--it->second == 0) {
-        deps_.erase(it);
-        // The last-arriving dependency stages the dependent locally
-        // (mirroring the native dataflow continuation) — unless the main
-        // thread has not constructed the dependent's node yet.
-        const time_ns created = creation_time(dep_id);
-        if (created > cs.now) {
-          deferred_.push({created, core, dep_id});
-        } else {
-          stage_task(core, dep_id);
-          wake_parked(cs.now);
-        }
-      }
-    }
-  }
-
-  // Virtual instant at which the main thread finishes constructing the
-  // dataflow node of task `id` (step-major, partition-minor order).
-  time_ns creation_time(std::uint64_t id) const {
-    const std::uint64_t ordinal =
-        static_cast<std::uint64_t>(id_step(id)) * np_ + id_part(id) + 1;
-    return static_cast<time_ns>(static_cast<double>(ordinal) *
-                                model_cost_.construct_node_ns);
-  }
-
-  // A deferred task's node is now constructed: make it visible. The
-  // construction cost is the main thread's, so no worker is charged.
-  void on_deferred(const deferred_stage& ev) {
-    core_state& cs = cores_[static_cast<std::size_t>(ev.core)];
-    if (cfg_.policy == sim_policy::work_stealing)
-      cs.pending.push_back(ev.task);
-    else
-      cs.staged.push_back(ev.task);
-    wake_parked(ev.at);
-  }
-
-  // Places a freshly created task according to the active policy, charging
-  // the creating core.
-  void stage_task(int core, std::uint64_t id) {
-    core_state& cs = cores_[static_cast<std::size_t>(core)];
-    cs.now += model_cost_.task_create_ns;
-    if (cfg_.policy == sim_policy::work_stealing) {
-      // No staged stage: the spawner pays the conversion immediately.
-      cs.now += model_cost_.task_convert_ns;
-      ++converted_;
-      cs.pending.push_back(id);
-    } else {
-      cs.staged.push_back(id);
-    }
-  }
-
-  // --- execution ------------------------------------------------------------
-
-  double exec_ns_for(std::uint64_t id) const {
-    double exec;
-    if (num_cores_ == 1) {
-      exec = cfg_.model.task_exec_single_core_ns(points_, cfg_.workload.total_points);
-    } else {
-      exec = cfg_.model.task_exec_ns(points_, active_ + 1, num_cores_);
-    }
-    // Deterministic +-jitter.
-    const std::uint64_t h = mix64(id ^ cfg_.seed);
-    const double u = static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // [0,1)
-    return exec * (1.0 + cfg_.model.jitter * (2.0 * u - 1.0));
-  }
-
-  void start_task(int core, std::uint64_t id) {
-    core_state& cs = cores_[static_cast<std::size_t>(core)];
-    cs.now += model_cost_.task_switch_ns;
-    const double exec = exec_ns_for(id);
-    ++active_;
-    exec_ns_total_ += exec;
-    completions_.push(
-        {cs.now + static_cast<time_ns>(std::llround(exec)), core, id});
-  }
-
-  void on_complete(const completion_event& ev) {
-    core_state& cs = cores_[static_cast<std::size_t>(ev.core)];
-    cs.now = std::max(cs.now, ev.at);
-    --active_;
-    ++tasks_done_;
-    makespan_ = std::max(makespan_, ev.at);
-    signal_dependents(ev.core, ev.task);
-    schedule_.push({cs.now, ev.core});
-  }
-
-  // --- the Priority Local-FIFO search (Fig. 1), over virtual queues --------
-
-  // Pops a runnable task for `core`, charging search costs to its clock.
-  // Returns ~0ull when no work exists anywhere.
-  static constexpr std::uint64_t k_no_task = ~std::uint64_t{0};
-
-  std::uint64_t find_work(int core) {
-    if (cfg_.policy == sim_policy::work_stealing) return find_work_ws(core);
-
-    core_state& me = cores_[static_cast<std::size_t>(core)];
-    const machine_model& mm = model_cost_;
-
-    // 1. Local pending.
-    ++me.pending_accesses;
-    me.now += static_cast<time_ns>(mm.queue_op_ns);
-    if (!me.pending.empty()) {
-      const std::uint64_t id = me.pending.front();
-      me.pending.pop_front();
-      return id;
-    }
-    ++me.pending_misses;
-
-    // 2. Local staged: convert -> own pending -> pop.
-    ++me.staged_accesses;
-    me.now += static_cast<time_ns>(mm.queue_op_ns);
-    if (!me.staged.empty()) {
-      const std::uint64_t id = me.staged.front();
-      me.staged.pop_front();
-      return convert_and_take(core, id, /*numa_cross=*/false);
-    }
-    ++me.staged_misses;
-
-    if (cfg_.policy == sim_policy::static_fifo) return k_no_task;  // no stealing
-
-    if (!cfg_.numa_aware_steal) {
-      // Ablation: probe every victim in plain ring order, oblivious to the
-      // domain layout (the per-victim NUMA penalty is still physical).
-      if (std::uint64_t id = steal_staged(core, all_cores_); id != k_no_task) return id;
-      return steal_pending(core, all_cores_);
-    }
-
-    // 3./4. Same NUMA domain: staged then pending.
-    const auto& local = numa_members_[static_cast<std::size_t>(me.numa)];
-    if (std::uint64_t id = steal_staged(core, local); id != k_no_task) return id;
-    if (std::uint64_t id = steal_pending(core, local); id != k_no_task) return id;
-
-    // 5./6. Remote domains.
-    for (int d = 0; d < static_cast<int>(numa_members_.size()); ++d) {
-      if (d == me.numa) continue;
-      const auto& remote = numa_members_[static_cast<std::size_t>(d)];
-      if (std::uint64_t id = steal_staged(core, remote); id != k_no_task) return id;
-    }
-    for (int d = 0; d < static_cast<int>(numa_members_.size()); ++d) {
-      if (d == me.numa) continue;
-      const auto& remote = numa_members_[static_cast<std::size_t>(d)];
-      if (std::uint64_t id = steal_pending(core, remote); id != k_no_task) return id;
-    }
-    return k_no_task;
-  }
-
-  // Work-stealing-LIFO: owner pops at the back, thieves steal at the front,
-  // plain ring victim order, no staged stage.
-  std::uint64_t find_work_ws(int core) {
-    core_state& me = cores_[static_cast<std::size_t>(core)];
-    const machine_model& mm = model_cost_;
-
-    ++me.pending_accesses;
-    me.now += static_cast<time_ns>(mm.queue_op_ns);
-    if (!me.pending.empty()) {
-      const std::uint64_t id = me.pending.back();
-      me.pending.pop_back();
-      return id;
-    }
-    ++me.pending_misses;
-
-    for (int k = 1; k < num_cores_; ++k) {
-      const int v = (core + k) % num_cores_;
-      core_state& victim = cores_[static_cast<std::size_t>(v)];
-      const bool remote = victim.numa != me.numa;
-      ++victim.pending_accesses;
-      me.now +=
-          static_cast<time_ns>(mm.steal_probe_ns + (remote ? mm.numa_penalty_ns : 0.0));
-      if (!victim.pending.empty()) {
-        const std::uint64_t id = victim.pending.front();
-        victim.pending.pop_front();
-        ++stolen_;
-        return id;
-      }
-      ++victim.pending_misses;
-    }
-    return k_no_task;
-  }
-
-  std::uint64_t convert_and_take(int core, std::uint64_t id, bool numa_cross) {
-    core_state& me = cores_[static_cast<std::size_t>(core)];
-    const machine_model& mm = model_cost_;
-    ++converted_;
-    me.now += static_cast<time_ns>(mm.task_convert_ns +
-                                   (numa_cross ? mm.numa_penalty_ns : 0.0));
-    // Convert -> own pending queue -> pop (the native round trip, so the
-    // pending-access counters keep HPX's semantics).
-    me.pending.push_back(id);
-    me.now += static_cast<time_ns>(mm.queue_op_ns);
-    ++me.pending_accesses;
-    me.now += static_cast<time_ns>(mm.queue_op_ns);
-    const std::uint64_t got = me.pending.front();
-    me.pending.pop_front();
-    return got;
-  }
-
-  // Probes the staged queues of `members` in ring order after the thief's
-  // own position. A hit is converted into the thief's pending queue.
-  std::uint64_t steal_staged(int thief, const std::vector<int>& members) {
-    core_state& me = cores_[static_cast<std::size_t>(thief)];
-    const machine_model& mm = model_cost_;
-    const std::size_t n = members.size();
-    std::size_t start = 0;
-    for (std::size_t i = 0; i < n; ++i)
-      if (members[i] == thief) {
-        start = i + 1;
-        break;
-      }
-    for (std::size_t k = 0; k < n; ++k) {
-      const int v = members[(start + k) % n];
-      if (v == thief) continue;
-      core_state& victim = cores_[static_cast<std::size_t>(v)];
-      const bool remote = victim.numa != me.numa;
-      ++victim.staged_accesses;
-      me.now +=
-          static_cast<time_ns>(mm.steal_probe_ns + (remote ? mm.numa_penalty_ns : 0.0));
-      if (!victim.staged.empty()) {
-        const std::uint64_t id = victim.staged.front();
-        victim.staged.pop_front();
-        ++stolen_;
-        return convert_and_take(thief, id, remote);
-      }
-      ++victim.staged_misses;
-    }
-    return k_no_task;
-  }
-
-  std::uint64_t steal_pending(int thief, const std::vector<int>& members) {
-    core_state& me = cores_[static_cast<std::size_t>(thief)];
-    const machine_model& mm = model_cost_;
-    const std::size_t n = members.size();
-    std::size_t start = 0;
-    for (std::size_t i = 0; i < n; ++i)
-      if (members[i] == thief) {
-        start = i + 1;
-        break;
-      }
-    for (std::size_t k = 0; k < n; ++k) {
-      const int v = members[(start + k) % n];
-      if (v == thief) continue;
-      core_state& victim = cores_[static_cast<std::size_t>(v)];
-      const bool remote = victim.numa != me.numa;
-      ++victim.pending_accesses;
-      me.now +=
-          static_cast<time_ns>(mm.steal_probe_ns + (remote ? mm.numa_penalty_ns : 0.0));
-      if (!victim.pending.empty()) {
-        const std::uint64_t id = victim.pending.front();
-        victim.pending.pop_front();
-        ++stolen_;
-        return id;
-      }
-      ++victim.pending_misses;
-    }
-    return k_no_task;
-  }
-
-  void on_schedule(const schedule_event& ev) {
-    core_state& me = cores_[static_cast<std::size_t>(ev.core)];
-    me.now = std::max(me.now, ev.at);
-
-    const std::uint64_t id = find_work(ev.core);
-    if (id != k_no_task) {
-      start_task(ev.core, id);
-      return;  // re-scheduled by on_complete
-    }
-
-    // Nothing anywhere. Work can only appear when a running task completes
-    // or the main thread constructs the next node; fast-forward to the
-    // earlier of the two and account the probe rounds the real runtime
-    // would have burned (they are what Figs. 9/10's right-hand rise is made
-    // of).
-    time_ns next_work = std::numeric_limits<time_ns>::max();
-    if (!completions_.empty()) next_work = completions_.top().at;
-    if (!deferred_.empty()) next_work = std::min(next_work, deferred_.top().at);
-    if (next_work == std::numeric_limits<time_ns>::max()) {
-      // Nothing running either: park until someone stages new work (or the
-      // simulation ends — the main loop stops at the last completion).
-      parked_.push_back(ev.core);
-      return;
-    }
-    const time_ns wake =
-        std::max(me.now + static_cast<time_ns>(cfg_.model.idle_probe_ns), next_work);
-    account_idle_probes(ev.core, wake - me.now);
-    me.now = wake;
-    schedule_.push({me.now, ev.core});
-  }
-
-  // Re-arms every parked core at `at` (new work appeared).
-  void wake_parked(time_ns at) {
-    for (const int c : parked_)
-      schedule_.push({std::max(cores_[static_cast<std::size_t>(c)].now, at), c});
-    parked_.clear();
-  }
-
-  // One fruitless search = 1 own-pending + 1 own-staged probe plus a probe
-  // of every other core's staged and pending queue. Attribute the skipped
-  // rounds' counts arithmetically instead of iterating them.
-  void account_idle_probes(int core, time_ns span) {
-    // Backoff model: spin for up to idle_spin_rounds searches, then park
-    // until new work wakes the worker (no further queue traffic).
-    const auto probe = std::max<time_ns>(1, static_cast<time_ns>(cfg_.model.idle_probe_ns));
-    const std::uint64_t rounds = std::min<std::uint64_t>(
-        static_cast<std::uint64_t>(std::max<int>(1, cfg_.model.idle_spin_rounds)),
-        static_cast<std::uint64_t>(std::max<time_ns>(1, span / probe)));
-    core_state& me = cores_[static_cast<std::size_t>(core)];
-    const auto others = static_cast<std::uint64_t>(num_cores_ - 1);
-    me.pending_accesses += rounds * (1 + others);
-    me.pending_misses += rounds * (1 + others);
-    if (cfg_.policy != sim_policy::work_stealing) {
-      // Only the dual-queue policies probe staged queues while searching.
-      me.staged_accesses += rounds * (1 + others);
-      me.staged_misses += rounds * (1 + others);
-    }
-  }
-
-  // --- state ----------------------------------------------------------------
-
-  sim_config cfg_;
+  const machine_model& model_;
   const std::uint64_t np_;
   const std::uint32_t steps_;
   const std::uint64_t points_;
-  const int num_cores_;
+  const std::uint64_t total_points_;
+  const bool independent_;
   const int distinct_preds_;
-  // Cached copy of cost constants (hot loop reads).
-  machine_model model_cost_ = cfg_.model;
-
-  std::vector<core_state> cores_;
-  std::vector<std::vector<int>> numa_members_;
-  std::vector<int> all_cores_;
-  std::unordered_map<std::uint64_t, int> deps_;
-
-  std::priority_queue<completion_event, std::vector<completion_event>,
-                      std::greater<completion_event>>
-      completions_;
-  std::priority_queue<schedule_event, std::vector<schedule_event>,
-                      std::greater<schedule_event>>
-      schedule_;
-  std::priority_queue<deferred_stage, std::vector<deferred_stage>,
-                      std::greater<deferred_stage>>
-      deferred_;
-
-  std::vector<int> parked_;
-  int active_ = 0;
-  std::uint64_t tasks_done_ = 0;
-  std::uint64_t stolen_ = 0;
-  std::uint64_t converted_ = 0;
-  double exec_ns_total_ = 0.0;
-  time_ns makespan_ = 0;
 };
 
 }  // namespace
@@ -541,7 +86,14 @@ class stencil_sim {
 sim_result simulate_stencil(const sim_config& cfg) {
   GRAN_ASSERT_MSG(cfg.workload.total_points % cfg.workload.partition_size == 0,
                   "partition size must divide the grid (params::normalize)");
-  stencil_sim sim(cfg);
+  detail::engine_config ecfg;
+  ecfg.model = cfg.model;
+  ecfg.cores = cfg.cores;
+  ecfg.seed = cfg.seed;
+  ecfg.policy = cfg.policy;
+  ecfg.numa_aware_steal = cfg.numa_aware_steal;
+  const stencil_workload w(cfg);
+  detail::des_engine<stencil_workload> sim(ecfg, w);
   return sim.run();
 }
 

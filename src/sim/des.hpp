@@ -57,6 +57,7 @@ struct sim_result {
   core::run_measurement measurement;  // same schema the native backend fills
   std::uint64_t tasks_stolen = 0;
   std::uint64_t tasks_converted = 0;
+  std::uint64_t edges_signaled = 0;  // dependency notifications delivered
 };
 
 // Runs one simulation. Deterministic for a fixed config.

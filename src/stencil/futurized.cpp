@@ -1,5 +1,7 @@
 #include "stencil/futurized.hpp"
 
+#include "graph/futurize.hpp"
+#include "graph/spec.hpp"
 #include "util/timer.hpp"
 
 namespace gran::stencil {
@@ -27,56 +29,64 @@ run_result run_futurized(thread_manager& tm, const params& p) {
 
   using partition_future = future<partition_data>;
 
+  // The heat ring is the `nearest` pattern with radius 1 (paper Fig. 2):
+  // one task per partition per step, consuming the three closest partitions
+  // of the previous step. The initial partitions enter as a seed row of
+  // ready futures (not tasks), so steps 1..time_steps of the spec are the
+  // p.time_steps computed rows.
+  graph::graph_spec g;
+  g.kind = graph::pattern::nearest;
+  g.width = static_cast<std::uint32_t>(np);
+  g.steps = static_cast<std::uint32_t>(p.time_steps + 1);
+  g.radius = 1;
+
   // Initial partitions: u_i = i, split into np blocks.
-  std::vector<partition_future> current;
-  current.reserve(np);
+  std::vector<partition_future> seed;
+  seed.reserve(np);
   for (std::size_t b = 0; b < np; ++b) {
     auto block = std::make_shared<std::vector<double>>(p.partition_size);
     for (std::size_t i = 0; i < p.partition_size; ++i)
       (*block)[i] = static_cast<double>(b * p.partition_size + i);
-    current.push_back(make_ready_future<partition_data>(partition_data(std::move(block))));
+    seed.push_back(make_ready_future<partition_data>(partition_data(std::move(block))));
   }
 
   stopwatch clock;
 
-  // Build the dependency tree: one dataflow task per partition per step,
-  // consuming the three closest partitions of the previous step (Fig. 2).
-  // With a construction window, rows older than the window are awaited
-  // before building further — bounding live dataflow nodes without adding
-  // any global barrier to the *execution* (the wavefront keeps pipelining
-  // within the window).
-  const std::size_t window = p.max_steps_in_flight;
-  std::vector<std::vector<partition_future>> history;  // rows awaiting retirement
-  std::vector<partition_future> next(np);
-  for (std::size_t t = 0; t < p.time_steps; ++t) {
-    if (window > 0) {
-      history.push_back(current);
-      if (history.size() > window) {
-        when_all(history.front()).wait();
-        history.erase(history.begin());
-      }
-    }
-    for (std::size_t b = 0; b < np; ++b) {
-      const std::size_t l = b == 0 ? np - 1 : b - 1;
-      const std::size_t r = b == np - 1 ? 0 : b + 1;
-      next[b] = dataflow_on(
-          tm, task_priority::normal,
-          [&p](partition_future& left, partition_future& mid, partition_future& right) {
-            return partition_data(std::make_shared<const std::vector<double>>(
-                partition_step(p, *left.get(), *mid.get(), *right.get())));
-          },
-          current[l], current[b], current[r]);
-    }
-    current.swap(next);
-  }
+  // Inputs arrive in the spec's ascending-point order; recover the ring
+  // roles (left / mid / right neighbour of partition b) positionally.
+  auto dag = graph::futurize_dag_seeded<partition_data>(
+      tm, g,
+      [&p, np](std::uint32_t /*t*/, std::uint32_t b,
+               const std::vector<partition_future>& in) {
+        const std::vector<double>*left, *mid, *right;
+        if (np == 1) {
+          left = mid = right = in[0].get().get();
+        } else if (np == 2) {
+          mid = in[b].get().get();
+          left = right = in[1 - b].get().get();
+        } else if (b == 0) {  // deps sorted: {0, 1, np-1}
+          mid = in[0].get().get();
+          right = in[1].get().get();
+          left = in[2].get().get();
+        } else if (b == np - 1) {  // deps sorted: {0, np-2, np-1}
+          right = in[0].get().get();
+          left = in[1].get().get();
+          mid = in[2].get().get();
+        } else {  // deps sorted: {b-1, b, b+1}
+          left = in[0].get().get();
+          mid = in[1].get().get();
+          right = in[2].get().get();
+        }
+        return partition_data(std::make_shared<const std::vector<double>>(
+            partition_step(p, *left, *mid, *right)));
+      },
+      std::move(seed), p.max_steps_in_flight);
 
-  // Wait for the whole tree to complete.
-  when_all(current).wait();
   run_result result;
   result.elapsed_s = clock.elapsed_s();
 
   result.state.reserve(p.total_points);
-  for (auto& f : current) {
+  for (auto& f : dag.last_row) {
     const auto& block = *f.get();
     result.state.insert(result.state.end(), block.begin(), block.end());
   }

@@ -3,23 +3,21 @@
 // value against a sequential topological evaluation. Any scheduling bug that
 // runs a node before its inputs, loses a completion, or corrupts a value
 // changes the final hashes.
+//
+// Structure comes from the shared splitmix64 helpers (util/rng.hpp) — the
+// same hash the graph::pattern::random generator and the simulator's jitter
+// use — so a seed printed by a failure replays identically everywhere. Set
+// GRAN_FUZZ_SEED to re-run every case under one specific seed.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <vector>
 
 #include "async/gran.hpp"
+#include "util/rng.hpp"
 
 namespace gran {
 namespace {
-
-// splitmix64: deterministic graph/pseudo-random structure.
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
 
 struct dag {
   // deps[i] lists nodes < i this node consumes (possibly empty).
@@ -85,7 +83,9 @@ struct fuzz_case {
 class DagFuzz : public ::testing::TestWithParam<fuzz_case> {};
 
 TEST_P(DagFuzz, DataflowMatchesSequentialEvaluation) {
-  const auto [nodes, workers, seed] = GetParam();
+  const auto [nodes, workers, param_seed] = GetParam();
+  // GRAN_FUZZ_SEED overrides every case's seed for replaying a failure.
+  const std::uint64_t seed = fuzz_seed(param_seed);
   scheduler_config cfg;
   cfg.num_workers = workers;
   cfg.pin_workers = false;
@@ -95,9 +95,10 @@ TEST_P(DagFuzz, DataflowMatchesSequentialEvaluation) {
   const auto expected = evaluate_sequential(g);
   const auto actual = evaluate_dataflow(tm, g);
 
-  ASSERT_EQ(actual.size(), expected.size());
+  ASSERT_EQ(actual.size(), expected.size()) << "replay with GRAN_FUZZ_SEED=" << seed;
   for (std::size_t i = 0; i < expected.size(); ++i)
-    ASSERT_EQ(actual[i], expected[i]) << "node " << i << " seed " << seed;
+    ASSERT_EQ(actual[i], expected[i])
+        << "node " << i << "; replay with GRAN_FUZZ_SEED=" << seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -114,14 +115,17 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(DagFuzz, ManySeedsSmallGraphs) {
-  // Quick sweep of many structures on a fixed small size.
+  // Quick sweep of many structures on a fixed small size; the base seed
+  // shifts with GRAN_FUZZ_SEED so a reported failure replays exactly.
   scheduler_config cfg;
   cfg.num_workers = 3;
   cfg.pin_workers = false;
   thread_manager tm(cfg);
-  for (std::uint64_t seed = 100; seed < 140; ++seed) {
+  const std::uint64_t base = fuzz_seed(100);
+  for (std::uint64_t seed = base; seed < base + 40; ++seed) {
     const dag g = make_random_dag(120, seed);
-    ASSERT_EQ(evaluate_dataflow(tm, g), evaluate_sequential(g)) << "seed " << seed;
+    ASSERT_EQ(evaluate_dataflow(tm, g), evaluate_sequential(g))
+        << "replay with GRAN_FUZZ_SEED=" << seed;
   }
 }
 

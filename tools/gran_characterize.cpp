@@ -17,8 +17,12 @@
 #include <memory>
 
 #include "core/experiment.hpp"
+#include "core/graph_experiment.hpp"
 #include "core/selectors.hpp"
+#include "graph/kernels.hpp"
+#include "graph/spec.hpp"
 #include "perf/observability.hpp"
+#include "sim/graph_sim.hpp"
 #include "sim/sim_backend.hpp"
 #include "topo/topology.hpp"
 #include "util/cli.hpp"
@@ -44,12 +48,117 @@ void print_usage() {
       "  --platform=NAME    sim platform: sandy-bridge|ivy-bridge|haswell|xeon-phi\n"
       "  --csv=PREFIX       also write PREFIXcharacterize.csv\n"
       "\n"
+      "task-graph workloads (src/graph; sweep the kernel grain instead):\n"
+      "  --workload=NAME    graph pattern: trivial|serial_chain|stencil1d|fft|\n"
+      "                     binary_tree|nearest|spread|random\n"
+      "                     (default: the heat-ring partition sweep above)\n"
+      "  --width=N --graph-steps=N --radius=N --fraction=F --graph-seed=N\n"
+      "  --kernel=NAME      busy_spin|memory_stream|dgemm_like\n"
+      "  --grain-min=NS --grain-max=NS   grain axis bounds (ns)\n"
+      "\n"
       "observability (native mode; see docs/TRACING.md):\n"
       "  --trace-out=PATH         export a Chrome/Perfetto trace of the run\n"
       "  --trace-buf=N            per-worker trace ring capacity, events\n"
       "  --sample-interval-us=N   background counter sampling period (>0 = on)\n"
       "  --sample-out=PATH        time-series dump (.csv or .json)\n"
       "  --sample-set=P1,P2       counter prefixes to sample (default /threads)\n";
+}
+
+// Task-graph mode: characterize one dependence pattern by sweeping the
+// kernel grain (the td dial) with the same Eq. 1–6 methodology.
+int run_graph_workload(const cli_args& args, graph::pattern kind) {
+  const bool sim_mode = args.get("mode", "native") == "sim";
+
+  std::unique_ptr<core::graph_backend> backend;
+  int default_workers;
+  if (sim_mode) {
+    const auto model = sim::make_machine_model(args.get("platform", "haswell"));
+    default_workers = model.spec.cores;
+    backend = std::make_unique<sim::graph_sim_backend>(model);
+  } else {
+    backend = std::make_unique<core::native_graph_backend>(
+        args.get("policy", "priority-local-fifo"));
+    default_workers = topology::host().num_cpus();
+  }
+
+  core::graph_sweep_config cfg;
+  cfg.graph.kind = kind;
+  cfg.graph.width = static_cast<std::uint32_t>(args.get_int("width", 256));
+  cfg.graph.steps = static_cast<std::uint32_t>(args.get_int("graph-steps", 20));
+  cfg.graph.radius = static_cast<std::uint32_t>(args.get_int("radius", 1));
+  cfg.graph.fraction = args.get_double("fraction", 0.25);
+  cfg.graph.seed = static_cast<std::uint64_t>(args.get_int("graph-seed", 1));
+  if (const std::string err = cfg.graph.validate(); !err.empty()) {
+    std::cerr << "invalid graph spec: " << err << "\n";
+    return 1;
+  }
+  cfg.kernel.kind = graph::kernel_from_name(args.get("kernel", "busy_spin"));
+  cfg.kernel.imbalance = args.get_double("imbalance", 0.0);
+  cfg.cores = static_cast<int>(args.get_int("workers", default_workers));
+  cfg.samples = static_cast<int>(args.get_int("samples", 3));
+  cfg.grains_ns = core::grain_sweep_ns(
+      args.get_double("grain-min", 1e3), args.get_double("grain-max", 1e6),
+      static_cast<int>(args.get_int("per-decade", 3)));
+  const double threshold = args.get_double("threshold", 0.30);
+
+  std::cout << "characterizing " << cfg.graph.describe() << " on "
+            << backend->name() << " with " << cfg.cores << " cores: "
+            << cfg.graph.total_tasks() << " tasks, " << cfg.graph.total_edges()
+            << " edges, " << cfg.samples << " samples per grain\n\n";
+
+  core::graph_granularity_experiment exp(*backend, cfg);
+  const auto points = exp.run([](const core::graph_sweep_point& p) {
+    std::fprintf(stderr, "  grain %-10.0f exec %.4f s  idle %.1f%%\n", p.grain_ns,
+                 p.exec_time_s.mean(), p.m.idle_rate * 100);
+  });
+
+  table_writer table({"grain (us)", "tasks", "td (us)", "exec (s)", "exec med (s)",
+                      "exec min (s)", "COV", "idle (%)", "to (us)", "To (s)",
+                      "tw (us)", "Tw (s)", "pending acc"});
+  for (const auto& p : points) {
+    table.add_row({format_number(p.grain_ns / 1e3, 2),
+                   format_count(static_cast<std::int64_t>(p.num_tasks)),
+                   format_number(p.m.task_duration_ns / 1e3, 2),
+                   format_number(p.exec_time_s.mean(), 4),
+                   format_number(p.exec_time_s.median(), 4),
+                   format_number(p.exec_time_s.min(), 4),
+                   format_number(p.cov, 3),
+                   format_number(p.m.idle_rate * 100, 1),
+                   format_number(p.m.task_overhead_ns / 1e3, 2),
+                   format_number(p.m.tm_overhead_s, 4),
+                   format_number(p.m.wait_per_task_ns / 1e3, 2),
+                   format_number(p.m.wait_time_s, 4),
+                   format_count(static_cast<std::int64_t>(p.mean.pending_accesses))});
+  }
+  std::cout << "\nGranularity characterization (paper metrics, Eqs. 1-6):\n";
+  table.print(std::cout);
+
+  // Selection rules on the grain axis: the oracle and the idle-rate
+  // threshold (the pending-queue rule carries over unchanged).
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < points.size(); ++i)
+    if (points[i].exec_time_s.mean() < points[best].exec_time_s.mean()) best = i;
+  const core::graph_sweep_point* by_idle = nullptr;
+  for (const auto& p : points)
+    if (p.m.idle_rate <= threshold) {
+      by_idle = &p;
+      break;
+    }
+  std::cout << "\nbest grain: ~" << format_duration_ns(points[best].grain_ns)
+            << " per task (exec " << format_number(points[best].exec_time_s.mean(), 4)
+            << " s)\n";
+  if (by_idle)
+    std::cout << "idle-rate <= " << format_number(threshold * 100, 0)
+              << "% first satisfied at grain ~" << format_duration_ns(by_idle->grain_ns)
+              << " per task\n";
+  else
+    std::cout << "idle-rate <= " << format_number(threshold * 100, 0)
+              << "% unsatisfiable on this sweep\n";
+
+  const std::string csv = args.get("csv", "");
+  if (!csv.empty() && table.save_csv(csv + "characterize.csv"))
+    std::cout << "(csv written to " << csv << "characterize.csv)\n";
+  return 0;
 }
 
 }  // namespace
@@ -63,6 +172,9 @@ int main(int argc, char** argv) {
 
   perf::observability_session obs(perf::observability_session::options_from_cli(
       args, perf::observability_session::options_from_env()));
+
+  if (args.has("workload"))
+    return run_graph_workload(args, graph::pattern_from_name(args.get("workload")));
 
   const bool sim_mode = args.get("mode", "native") == "sim";
   const std::string platform = args.get("platform", "haswell");
@@ -104,13 +216,17 @@ int main(int argc, char** argv) {
                  p.partition_size, p.exec_time_s.mean(), p.m.idle_rate * 100);
   });
 
-  table_writer table({"partition", "tasks", "td (us)", "exec (s)", "COV", "idle (%)",
-                      "to (us)", "To (s)", "tw (us)", "Tw (s)", "pending acc"});
+  table_writer table({"partition", "tasks", "td (us)", "exec (s)", "exec med (s)",
+                      "exec min (s)", "COV", "idle (%)", "to (us)", "To (s)",
+                      "tw (us)", "Tw (s)", "pending acc"});
   for (const auto& p : points) {
     table.add_row({format_count(static_cast<std::int64_t>(p.partition_size)),
                    format_count(static_cast<std::int64_t>(p.num_tasks)),
                    format_number(p.m.task_duration_ns / 1e3, 2),
-                   format_number(p.exec_time_s.mean(), 4), format_number(p.cov, 3),
+                   format_number(p.exec_time_s.mean(), 4),
+                   format_number(p.exec_time_s.median(), 4),
+                   format_number(p.exec_time_s.min(), 4),
+                   format_number(p.cov, 3),
                    format_number(p.m.idle_rate * 100, 1),
                    format_number(p.m.task_overhead_ns / 1e3, 2),
                    format_number(p.m.tm_overhead_s, 4),
