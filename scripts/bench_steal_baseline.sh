@@ -1,14 +1,23 @@
 #!/usr/bin/env bash
 # Records the steal-deque throughput baseline (Chase-Lev vs mutex deque) into
-# results/BENCH_steal.json, building the bench if needed.
+# results/BENCH_steal.json, and the flat-vs-hierarchical victim-order ablation
+# into results/BENCH_steal_topology.json, building the benches if needed.
 #
 #   scripts/bench_steal_baseline.sh [--ops=N] [--thieves=a,b,c] ...
+# Extra args go to micro_steal_throughput only.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -S . >/dev/null
-cmake --build build -j --target micro_steal_throughput >/dev/null
+cmake --build build -j --target micro_steal_throughput ablation_topology >/dev/null
 
 mkdir -p results
 ./build/bench/micro_steal_throughput --json=results/BENCH_steal.json "$@" \
   | tee results/micro_steal_throughput.txt
+
+# Full-runtime view of the same subsystem: hierarchical vs flat victim order.
+# The forced 2-worker / 2-domain split keeps the steal and remote columns
+# populated even on single-CPU hosts (where workers would default to 1).
+./build/bench/ablation_topology --workers=2 --domains=2 \
+    --json=results/BENCH_steal_topology.json \
+  | tee results/ablation_topology.txt

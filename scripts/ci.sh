@@ -28,6 +28,15 @@ for pattern in trivial serial_chain stencil1d fft binary_tree nearest spread ran
 done
 echo "graph smoke: 8 patterns x {native,sim} ok"
 
+echo "=== ci: topology smoke ==="
+# Hier-vs-flat steal order and both pinning layouts at CI sizes. The forced
+# 2-worker / 2-domain split exercises the remote-steal accounting even on
+# single-CPU runners; GRAN_PIN must be honored whatever the host looks like.
+./build/bench/ablation_topology --quick --workers=2 --domains=2 >/dev/null
+GRAN_PIN=compact ./build/bench/ablation_topology --quick --workers=2 >/dev/null
+GRAN_PIN=scatter ./build/bench/ablation_topology --quick --workers=2 >/dev/null
+echo "topology smoke: quick + GRAN_PIN={compact,scatter} ok"
+
 echo "=== ci: tsan ==="
 scripts/tsan_check.sh
 

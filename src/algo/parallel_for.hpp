@@ -24,17 +24,25 @@ namespace gran::algo {
 namespace detail {
 
 // Runs one wave of chunk tasks over [first, last); records the first
-// exception into `error`.
+// exception into `error`. `range_first`/`range_items` describe the loop's
+// *full* index range: each chunk is hinted to the worker whose NUMA domain
+// owns its slice of the index space (home_worker_for_block), a mapping that
+// stays stable across waves and chunk-size changes so repeated loops over
+// the same data keep touching the same domains. The hint is advisory — any
+// worker may still steal the chunk.
 template <typename F>
 void run_wave(thread_manager& tm, std::size_t first, std::size_t last,
               std::size_t chunk, const F& fn, std::atomic<bool>& failed,
-              std::exception_ptr& error, spinlock& error_guard) {
+              std::exception_ptr& error, spinlock& error_guard,
+              std::size_t range_first, std::size_t range_items) {
   const std::size_t items = last - first;
   const std::size_t tasks = (items + chunk - 1) / chunk;
   latch done(static_cast<std::int64_t>(tasks));
   for (std::size_t lo = first; lo < last; lo += chunk) {
     const std::size_t hi = std::min(last, lo + chunk);
-    tm.spawn(
+    const int home = tm.home_worker_for_block(lo - range_first, range_items);
+    tm.spawn_on(
+        home,
         [&, lo, hi] {
           try {
             if (!failed.load(std::memory_order_relaxed))
@@ -78,7 +86,7 @@ void parallel_for(thread_manager& tm, std::size_t first, std::size_t last, F&& f
                                 chunk));
       const auto before = tm.counter_totals();
       detail::run_wave(tm, next, next + wave_items, chunk, fn, failed, error,
-                       error_guard);
+                       error_guard, first, items);
       const auto after = tm.counter_totals();
       const double func = static_cast<double>(after.func_ns - before.func_ns);
       const double exec = static_cast<double>(after.exec_ns - before.exec_ns);
@@ -89,7 +97,8 @@ void parallel_for(thread_manager& tm, std::size_t first, std::size_t last, F&& f
     }
   } else {
     const std::size_t chunk = resolve_chunk(policy, items, tm.num_workers());
-    detail::run_wave(tm, first, last, chunk, fn, failed, error, error_guard);
+    detail::run_wave(tm, first, last, chunk, fn, failed, error, error_guard,
+                     first, items);
   }
 
   if (failed.load(std::memory_order_acquire) && error) std::rethrow_exception(error);

@@ -82,10 +82,13 @@ auto dataflow(task_priority priority, F&& f, future<Ts>... inputs) {
 
 // Vector form: f receives const std::vector<future<T>>&. The _on variant
 // pins the spawn to an explicit manager (the graph executor futurizes
-// whole DAGs on a freshly built pool this way).
+// whole DAGs on a freshly built pool this way). `worker_hint` >= 0 asks the
+// policy to queue the fired task on that worker (NUMA-aware home placement
+// — see thread_manager::home_worker_for_block); -1 keeps the default
+// spawn-local routing.
 template <typename F, typename T>
 auto dataflow_all_on(thread_manager& manager, task_priority priority, F&& f,
-                     std::vector<future<T>> inputs) {
+                     std::vector<future<T>> inputs, int worker_hint = -1) {
   using R = std::invoke_result_t<std::decay_t<F>, const std::vector<future<T>>&>;
   using U = typename detail::unwrap_result<R>::type;
 
@@ -101,8 +104,9 @@ auto dataflow_all_on(thread_manager& manager, task_priority priority, F&& f,
   };
   auto ctl = std::make_shared<control>(std::forward<F>(f), std::move(inputs));
 
-  const auto fire = [tm, st, ctl, priority] {
-    tm->spawn(
+  const auto fire = [tm, st, ctl, priority, worker_hint] {
+    tm->spawn_on(
+        worker_hint,
         [st, ctl] {
           auto call = [&]() -> decltype(auto) { return ctl->f(ctl->inputs); };
           if constexpr (detail::unwrap_result<R>::is_future) {

@@ -42,8 +42,29 @@ std::size_t grain_tuner::update(double idle_rate, std::uint64_t tasks_in_interva
   // the optimum, so the controller is deliberately conservative here).
 
   chunk_ = std::clamp(chunk_, opts_.min_chunk, opts_.max_chunk);
-  history_.push_back(decision{idle_rate, before, chunk_});
+
+  // Bounded history: keep the last history_limit decisions in a ring. The
+  // old unbounded push_back leaked one record per wave for the lifetime of
+  // a long-running controller.
+  const decision d{idle_rate, before, chunk_};
+  if (opts_.history_limit == 0) {
+    ++dropped_;
+  } else if (ring_.size() < opts_.history_limit) {
+    ring_.push_back(d);
+  } else {
+    ring_[head_] = d;
+    head_ = (head_ + 1) % opts_.history_limit;
+    ++dropped_;
+  }
   return chunk_;
+}
+
+std::vector<grain_tuner::decision> grain_tuner::history() const {
+  std::vector<decision> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  return out;
 }
 
 adaptive_run_report adaptive_chunked_for_each(

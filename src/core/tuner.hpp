@@ -31,6 +31,10 @@ struct tuner_options {
   double shrink_factor = 0.5;
   std::size_t min_chunk = 1;
   std::size_t max_chunk = std::size_t{1} << 30;
+  // Decisions retained for history(); older ones are dropped (and counted)
+  // once the limit is reached, so a long-running controller cannot grow
+  // without bound. 0 = keep nothing.
+  std::size_t history_limit = 256;
 };
 
 class grain_tuner {
@@ -52,12 +56,20 @@ class grain_tuner {
     std::size_t chunk_before;
     std::size_t chunk_after;
   };
-  const std::vector<decision>& history() const noexcept { return history_; }
+  // The most recent decisions (up to opts.history_limit), oldest first.
+  // Materialized from the internal ring on each call.
+  std::vector<decision> history() const;
+  // Decisions evicted from the ring because the limit was reached.
+  std::uint64_t dropped_decisions() const noexcept { return dropped_; }
 
  private:
   options opts_;
   std::size_t chunk_;
-  std::vector<decision> history_;
+  // Ring of the last history_limit decisions; head_ is the oldest slot once
+  // the ring has wrapped.
+  std::vector<decision> ring_;
+  std::size_t head_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 struct adaptive_run_report {

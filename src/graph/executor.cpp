@@ -14,6 +14,14 @@ run_stats run_graph(thread_manager& tm, const graph_spec& g,
   // Force calibration outside the measured section.
   (void)calibrated_rates();
 
+  // Memory-bound kernels default to NUMA-block placement: task (t, p)
+  // streams over a per-point buffer, so it belongs on the domain that owns
+  // block p. Compute-bound kernels keep the spawn-local default (their state
+  // is whatever the inputs left in cache).
+  const placement place = k.kind == kernel_kind::memory_stream
+                              ? placement::numa_block
+                              : placement::spawn_local;
+
   stopwatch clock;
   auto dag = futurize_dag<std::uint64_t>(
       tm, g,
@@ -23,7 +31,7 @@ run_stats run_graph(thread_manager& tm, const graph_spec& g,
         for (const auto& f : in) acc = mix64_combine(acc, f.get());
         return mix64_combine(acc, run_kernel(k, t, p));
       },
-      window);
+      window, task_priority::normal, place);
 
   run_stats stats;
   stats.elapsed_s = clock.elapsed_s();

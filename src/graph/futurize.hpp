@@ -27,6 +27,15 @@ struct futurized_dag {
   std::uint64_t edges = 0;          // input futures wired
 };
 
+// Where graph tasks are queued when they fire:
+//   spawn_local — wherever the last input completed (the dataflow default;
+//     best for cache-hot compute kernels);
+//   numa_block  — point p of a width-W row goes to
+//     thread_manager::home_worker_for_block(p, W), so a task touching the
+//     p-th block of node-interleaved data runs on a worker of the node that
+//     owns the block (best for memory-bound kernels).
+enum class placement { spawn_local, numa_block };
+
 namespace detail {
 
 // Shared construction loop: builds rows `first_step` .. steps-1 over an
@@ -36,7 +45,7 @@ futurized_dag<T> futurize_rows(thread_manager& tm, const graph_spec& g,
                                std::shared_ptr<Fn> body,
                                std::vector<future<T>> prev,
                                std::uint32_t first_step, std::size_t window,
-                               task_priority priority) {
+                               task_priority priority, placement place) {
   futurized_dag<T> result;
   std::vector<std::vector<future<T>>> retired;  // rows awaiting the window
   std::vector<std::uint32_t> deps;
@@ -51,12 +60,15 @@ futurized_dag<T> futurize_rows(thread_manager& tm, const graph_spec& g,
       for (const std::uint32_t d : deps) inputs.push_back(prev[d]);
       result.edges += deps.size();
       ++result.tasks;
+      const int hint = place == placement::numa_block
+                           ? tm.home_worker_for_block(p, g.width)
+                           : -1;
       cur[p] = dataflow_all_on(
           tm, priority,
           [body, t, p](const std::vector<future<T>>& in) {
             return (*body)(t, p, in);
           },
-          std::move(inputs));
+          std::move(inputs), hint);
     }
     if (!prev.empty()) {
       retired.push_back(std::move(prev));
@@ -93,12 +105,13 @@ futurized_dag<T> futurize_rows(thread_manager& tm, const graph_spec& g,
 template <typename T, typename Fn>
 futurized_dag<T> futurize_dag(thread_manager& tm, const graph_spec& g, Fn fn,
                               std::size_t window = 0,
-                              task_priority priority = task_priority::normal) {
+                              task_priority priority = task_priority::normal,
+                              placement place = placement::spawn_local) {
   // Tasks may still be running when construction finishes; they share
   // ownership of the body instead of referencing this frame.
   auto body = std::make_shared<Fn>(std::move(fn));
   return detail::futurize_rows<T>(tm, g, std::move(body), std::vector<future<T>>{},
-                                  /*first_step=*/0, window, priority);
+                                  /*first_step=*/0, window, priority, place);
 }
 
 // Variant with a seed row: `seed` (size == g.width) stands in for step 0 —
@@ -110,10 +123,11 @@ template <typename T, typename Fn>
 futurized_dag<T> futurize_dag_seeded(thread_manager& tm, const graph_spec& g,
                                      Fn fn, std::vector<future<T>> seed,
                                      std::size_t window = 0,
-                                     task_priority priority = task_priority::normal) {
+                                     task_priority priority = task_priority::normal,
+                                     placement place = placement::spawn_local) {
   auto body = std::make_shared<Fn>(std::move(fn));
   return detail::futurize_rows<T>(tm, g, std::move(body), std::move(seed),
-                                  /*first_step=*/1, window, priority);
+                                  /*first_step=*/1, window, priority, place);
 }
 
 }  // namespace gran::graph

@@ -234,14 +234,20 @@ void tracer::write_chrome_json(std::ostream& os) const {
           break;
         case trace_kind::steal: {
           // Instant marker on the thief plus a flow arrow from the victim
-          // lane, so Perfetto draws where the work came from.
+          // lane, so Perfetto draws where the work came from. arg2 packs the
+          // victim with the topology distance (see steal_arg2).
           const std::uint64_t id = ++flow_id;
+          const std::uint32_t victim = e.arg2 & 0xffffu;
+          const std::uint32_t distance = e.arg2 >> 16;
+          const char* const dist_name =
+              distance == 0 ? "smt" : distance == 1 ? "local" : "remote";
           sep();
           os << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" << w
              << ",\"ts\":" << ts_us(e.ticks) << ",\"cat\":\"steal\",\"name\":\"steal\","
-             << "\"args\":{\"task\":" << e.arg << ",\"victim\":" << e.arg2 << "}}";
+             << "\"args\":{\"task\":" << e.arg << ",\"victim\":" << victim
+             << ",\"distance\":\"" << dist_name << "\"}}";
           sep();
-          os << "{\"ph\":\"s\",\"id\":" << id << ",\"pid\":1,\"tid\":" << e.arg2
+          os << "{\"ph\":\"s\",\"id\":" << id << ",\"pid\":1,\"tid\":" << victim
              << ",\"ts\":" << ts_us(e.ticks) << ",\"cat\":\"steal\",\"name\":\"steal\"}";
           sep();
           os << "{\"ph\":\"f\",\"bp\":\"e\",\"id\":" << id << ",\"pid\":1,\"tid\":" << w
@@ -253,6 +259,13 @@ void tracer::write_chrome_json(std::ostream& os) const {
           os << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" << w
              << ",\"ts\":" << ts_us(e.ticks)
              << ",\"cat\":\"sched\",\"name\":\"pending-miss\"}";
+          break;
+        case trace_kind::pin_rejected:
+          sep();
+          os << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" << w
+             << ",\"ts\":" << ts_us(e.ticks)
+             << ",\"cat\":\"sched\",\"name\":\"pin-rejected\",\"args\":{\"cpu\":"
+             << e.arg << "}}";
           break;
       }
     }

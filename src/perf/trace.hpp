@@ -36,11 +36,21 @@ enum class trace_kind : std::uint16_t {
   task_end = 1,      // task terminated                   arg=id
   phase_begin = 2,   // later phase starts (after yield/suspend)
   phase_end = 3,     // phase ended without terminating   arg2: 1=yield 2=suspend
-  steal = 4,         // task obtained from another worker arg=id, arg2=victim
+  steal = 4,         // task obtained from another worker arg=id,
+                     //   arg2 = victim | (topology distance << 16), distance:
+                     //   0=SMT sibling, 1=same NUMA domain, 2=remote domain
   park = 5,          // worker blocks on the idle cv
   unpark = 6,        // worker resumes from the idle cv
   pending_miss = 7,  // scheduler round found no work (first miss after work)
+  pin_rejected = 8,  // kernel refused the worker's CPU pin   arg=target cpu
 };
+
+// Packs a steal event's arg2: victim worker in the low 16 bits, topology
+// distance (0 SMT / 1 same-domain / 2 remote) above them.
+inline std::uint32_t steal_arg2(int victim, int distance) noexcept {
+  return (static_cast<std::uint32_t>(victim) & 0xffffu) |
+         (static_cast<std::uint32_t>(distance) << 16);
+}
 
 // One binary trace record. `name` points to the task's description — a
 // string with static storage duration in every runtime call site (task

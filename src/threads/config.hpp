@@ -25,9 +25,23 @@ struct scheduler_config {
   // 0 = one per worker.
   int high_priority_queues = 0;
 
-  // Pin worker i to logical CPU i (disabled automatically when the host has
-  // fewer CPUs than workers, e.g. oversubscribed test runs).
+  // Pin workers to CPUs according to the topology-aware assignment plan
+  // (topo/pin_plan.hpp): physical cores first, SMT siblings last, restricted
+  // to the allowed cpuset. Disabled automatically when the host has fewer
+  // available CPUs than workers (oversubscribed test runs).
   bool pin_workers = true;
+
+  // Pinning layout: "compact" (fill a NUMA domain's cores before the next),
+  // "scatter" (round-robin cores across domains), or "none". Empty = the
+  // GRAN_PIN environment variable, falling back to "compact".
+  std::string pin;
+
+  // Victim-selection order for the work-stealing policy: "hier" (SMT
+  // sibling -> same NUMA domain -> remote domains, rotating start per tier)
+  // or "flat" (the old fixed (w+k) % n ring — kept as the ablation
+  // baseline). Empty = the GRAN_STEAL_ORDER environment variable, falling
+  // back to "hier".
+  std::string steal_order;
 
   // Capacity of each queue's lock-free ring before spilling to the
   // mutex-protected overflow stage.

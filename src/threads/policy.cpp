@@ -5,8 +5,14 @@
 #include "threads/policy_priority_local.hpp"
 #include "threads/policy_static.hpp"
 #include "threads/policy_work_stealing.hpp"
+#include "threads/thread_manager.hpp"
 
 namespace gran {
+
+void scheduling_policy::enqueue_hinted(thread_manager& tm, int target, task* t) {
+  const int caller = thread_manager::current_worker();
+  enqueue_new(tm, caller == target ? target : -1, t);
+}
 
 std::unique_ptr<scheduling_policy> make_policy(const std::string& name) {
   if (name == "priority-local-fifo" || name.empty())

@@ -32,6 +32,13 @@ class scheduling_policy {
   // is the worker performing the enqueue, or -1 from external threads.
   virtual void enqueue_ready(thread_manager& tm, int home, task* t) = 0;
 
+  // Queues a freshly created task with a *placement hint*: prefer worker
+  // `target`'s structures even when the caller is not `target` (NUMA-aware
+  // home placement). Unlike enqueue_new's `home`, `target` may be any valid
+  // worker index. The default forwards to enqueue_new, keeping the hint
+  // only when the caller happens to be the target.
+  virtual void enqueue_hinted(thread_manager& tm, int target, task* t);
+
   // Finds the next task for worker `w`: pops local work, converts staged
   // descriptions, or steals. Returns nullptr when nothing is available
   // anywhere. A returned task is in the pending state and owned by the

@@ -12,6 +12,7 @@ void priority_local_policy::init(thread_manager& tm) {
   for (int w = 0; w < tm.num_workers(); ++w)
     if (tm.worker(w).owns_high_queue) ++high_queue_owners_;
   GRAN_ASSERT(high_queue_owners_ >= 1);
+  rotations_.assign(static_cast<std::size_t>(tm.num_workers()), sweep_rotation{});
 }
 
 void priority_local_policy::enqueue_new(thread_manager& tm, int home, task* t) {
@@ -37,6 +38,13 @@ void priority_local_policy::enqueue_new(thread_manager& tm, int home, task* t) {
                 : static_cast<int>(rr_normal_.fetch_add(1, std::memory_order_relaxed) %
                                    static_cast<std::uint64_t>(tm.num_workers()));
   tm.worker(target).queue.push_staged(t);
+}
+
+void priority_local_policy::enqueue_hinted(thread_manager& tm, int target, task* t) {
+  // Staged queues are MPMC-safe dual queues, so a placement hint is just an
+  // enqueue_new with `home` forced to the target worker (normal priority;
+  // high/low keep their dedicated routing inside enqueue_new).
+  enqueue_new(tm, target, t);
 }
 
 void priority_local_policy::enqueue_ready(thread_manager& tm, int home, task* t) {
@@ -84,18 +92,26 @@ task* priority_local_policy::get_next(thread_manager& tm, int w) {
     return nullptr;
   }
 
-  // 3./4. Same NUMA domain: staged first, then pending.
-  if (task* t = steal_staged_from_node(tm, w, me.numa_node)) return t;
-  if (task* t = steal_pending_from_node(tm, w, me.numa_node)) return t;
+  // One rotation value per steal sweep: every tier below starts its ring at
+  // a position that advances on each fruitless sweep, so a herd of
+  // simultaneously starved workers spreads over distinct victims instead of
+  // all probing the same ring sequence in lockstep.
+  const std::uint32_t rot = rotations_[static_cast<std::size_t>(w)].value++;
 
-  // 5./6. Remote NUMA domains.
-  for (int node = 0; node < tm.num_numa_domains(); ++node) {
-    if (node == me.numa_node) continue;
-    if (task* t = steal_staged_from_node(tm, w, node)) return t;
+  // 3./4. Same NUMA domain: staged first, then pending.
+  if (task* t = steal_staged_from_node(tm, w, me.numa_node, rot)) return t;
+  if (task* t = steal_pending_from_node(tm, w, me.numa_node, rot)) return t;
+
+  // 5./6. Remote NUMA domains, nearest-ring order from the worker's own
+  // domain.
+  const int domains = tm.num_numa_domains();
+  for (int k = 1; k < domains; ++k) {
+    const int node = (me.numa_node + k) % domains;
+    if (task* t = steal_staged_from_node(tm, w, node, rot)) return t;
   }
-  for (int node = 0; node < tm.num_numa_domains(); ++node) {
-    if (node == me.numa_node) continue;
-    if (task* t = steal_pending_from_node(tm, w, node)) return t;
+  for (int k = 1; k < domains; ++k) {
+    const int node = (me.numa_node + k) % domains;
+    if (task* t = steal_pending_from_node(tm, w, node, rot)) return t;
   }
 
   // 7. Low-priority work only when everything else is exhausted.
@@ -107,17 +123,42 @@ task* priority_local_policy::get_next(thread_manager& tm, int w) {
   return nullptr;
 }
 
-task* priority_local_policy::steal_staged_from_node(thread_manager& tm, int w, int node) {
-  const auto& members = tm.workers_of_node(node);
+namespace {
+
+// Ring start within `members`: just after `w`'s own position when it is a
+// member of this node, plus the sweep rotation in either case.
+std::size_t ring_start(const std::vector<int>& members, int w, std::uint32_t rot) {
   const std::size_t n = members.size();
-  if (n == 0) return nullptr;
-  // Ring order starting just after `w`'s position (or 0 for remote nodes).
   std::size_t start = 0;
   for (std::size_t i = 0; i < n; ++i)
     if (members[i] == w) {
       start = i + 1;
       break;
     }
+  return (start + rot) % n;
+}
+
+// Counts a successful steal by `w` from `v`: the stolen total (bumped
+// first — the derived stolen-local counter must never observe remote >
+// stolen), the cross-domain subset, and the distance-annotated trace event.
+void record_steal(thread_manager& tm, worker_data& me, int w, int v,
+                  std::uint64_t task_id) {
+  const int distance = tm.steal_distance(w, v);
+  me.counters.tasks_stolen.fetch_add(1, std::memory_order_relaxed);
+  if (distance == 2)
+    me.counters.tasks_stolen_remote.fetch_add(1, std::memory_order_relaxed);
+  perf::trace_emit(me.trace, perf::trace_kind::steal, w, task_id,
+                   perf::steal_arg2(v, distance));
+}
+
+}  // namespace
+
+task* priority_local_policy::steal_staged_from_node(thread_manager& tm, int w,
+                                                    int node, std::uint32_t rot) {
+  const auto& members = tm.workers_of_node(node);
+  const std::size_t n = members.size();
+  if (n == 0) return nullptr;
+  const std::size_t start = ring_start(members, w, rot);
   worker_data& me = tm.worker(w);
   for (std::size_t k = 0; k < n; ++k) {
     const int v = members[(start + k) % n];
@@ -128,9 +169,7 @@ task* priority_local_policy::steal_staged_from_node(thread_manager& tm, int w, i
     if (!d) d = victim.queue.pop_staged();
     if (d) {
       tm.convert(*d);
-      me.counters.tasks_stolen.fetch_add(1, std::memory_order_relaxed);
-      perf::trace_emit(me.trace, perf::trace_kind::steal, w, (*d)->id(),
-                       static_cast<std::uint32_t>(v));
+      record_steal(tm, me, w, v, (*d)->id());
       me.queue.push_pending(*d);
       if (auto t = me.queue.pop_pending()) return *t;
       return nullptr;
@@ -139,16 +178,12 @@ task* priority_local_policy::steal_staged_from_node(thread_manager& tm, int w, i
   return nullptr;
 }
 
-task* priority_local_policy::steal_pending_from_node(thread_manager& tm, int w, int node) {
+task* priority_local_policy::steal_pending_from_node(thread_manager& tm, int w,
+                                                     int node, std::uint32_t rot) {
   const auto& members = tm.workers_of_node(node);
   const std::size_t n = members.size();
   if (n == 0) return nullptr;
-  std::size_t start = 0;
-  for (std::size_t i = 0; i < n; ++i)
-    if (members[i] == w) {
-      start = i + 1;
-      break;
-    }
+  const std::size_t start = ring_start(members, w, rot);
   worker_data& me = tm.worker(w);
   for (std::size_t k = 0; k < n; ++k) {
     const int v = members[(start + k) % n];
@@ -158,9 +193,7 @@ task* priority_local_policy::steal_pending_from_node(thread_manager& tm, int w, 
     if (victim.owns_high_queue) t = victim.high_queue.pop_pending();
     if (!t) t = victim.queue.pop_pending();
     if (t) {
-      me.counters.tasks_stolen.fetch_add(1, std::memory_order_relaxed);
-      perf::trace_emit(me.trace, perf::trace_kind::steal, w, (*t)->id(),
-                       static_cast<std::uint32_t>(v));
+      record_steal(tm, me, w, v, (*t)->id());
       return *t;
     }
   }

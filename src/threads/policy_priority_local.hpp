@@ -19,8 +19,12 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "threads/policy.hpp"
+#include "util/cacheline.hpp"
 
 namespace gran {
 
@@ -30,16 +34,29 @@ class priority_local_policy final : public scheduling_policy {
   void init(thread_manager& tm) override;
   void enqueue_new(thread_manager& tm, int home, task* t) override;
   void enqueue_ready(thread_manager& tm, int home, task* t) override;
+  void enqueue_hinted(thread_manager& tm, int target, task* t) override;
   task* get_next(thread_manager& tm, int w) override;
   bool queues_empty(const thread_manager& tm) const override;
 
  private:
-  // Steals one staged description from the workers of `node` (ring order
-  // after `w`), converting into `w`'s pending queue. Returns a runnable
-  // task or nullptr.
-  task* steal_staged_from_node(thread_manager& tm, int w, int node);
+  // Steals one staged description from the workers of `node`, converting
+  // into `w`'s pending queue. Returns a runnable task or nullptr. `rot`
+  // rotates the ring's starting victim (see get_next).
+  task* steal_staged_from_node(thread_manager& tm, int w, int node,
+                               std::uint32_t rot);
   // Steals one ready task from the pending queues of `node`.
-  task* steal_pending_from_node(thread_manager& tm, int w, int node);
+  task* steal_pending_from_node(thread_manager& tm, int w, int node,
+                                std::uint32_t rot);
+
+  // Per-worker steal-sweep rotation. Without it every idle worker began its
+  // search at the same ring position relative to itself — under global
+  // starvation (the herd) all workers then converge probe-by-probe on the
+  // same victims. Owner-only state (worker `w` alone touches slot `w` inside
+  // get_next), hence plain ints, cache-line padded against false sharing.
+  struct alignas(cache_line_size) sweep_rotation {
+    std::uint32_t value = 0;
+  };
+  std::vector<sweep_rotation> rotations_;
 
   std::atomic<std::uint64_t> rr_normal_{0};
   std::atomic<std::uint64_t> rr_high_{0};

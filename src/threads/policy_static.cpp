@@ -22,6 +22,19 @@ void static_fifo_policy::enqueue_new(thread_manager& tm, int /*home*/, task* t) 
     wd.queue.push_staged(t);
 }
 
+void static_fifo_policy::enqueue_hinted(thread_manager& tm, int target, task* t) {
+  // With no stealing the hint is binding: the task runs where it is staged.
+  if (t->priority() == task_priority::low) {
+    tm.low_priority_queue().push_staged(t);
+    return;
+  }
+  worker_data& wd = tm.worker(target);
+  if (t->priority() == task_priority::high && wd.owns_high_queue)
+    wd.high_queue.push_staged(t);
+  else
+    wd.queue.push_staged(t);
+}
+
 void static_fifo_policy::enqueue_ready(thread_manager& tm, int home, task* t) {
   if (t->priority() == task_priority::low) {
     tm.low_priority_queue().push_pending(t);

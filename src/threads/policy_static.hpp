@@ -17,6 +17,7 @@ class static_fifo_policy final : public scheduling_policy {
   void init(thread_manager& tm) override;
   void enqueue_new(thread_manager& tm, int home, task* t) override;
   void enqueue_ready(thread_manager& tm, int home, task* t) override;
+  void enqueue_hinted(thread_manager& tm, int target, task* t) override;
   task* get_next(thread_manager& tm, int w) override;
   bool queues_empty(const thread_manager& tm) const override;
 

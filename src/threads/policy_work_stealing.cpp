@@ -1,18 +1,43 @@
 #include "threads/policy_work_stealing.hpp"
 
+#include <stdexcept>
+#include <string>
+
 #include "perf/trace.hpp"
 #include "threads/task.hpp"
 #include "threads/thread_manager.hpp"
 #include "util/assert.hpp"
+#include "util/env.hpp"
 
 namespace gran {
 
 void work_stealing_policy::init(thread_manager& tm) {
   num_workers_ = tm.num_workers();
+
+  std::string order = tm.config().steal_order;
+  if (order.empty()) order = env_string("GRAN_STEAL_ORDER", "");
+  if (order.empty()) order = "hier";
+  if (order != "hier" && order != "flat")
+    throw std::invalid_argument("unknown steal order: " + order + " (hier|flat)");
+  hier_ = order == "hier";
+
   deques_.clear();
   deques_.reserve(static_cast<std::size_t>(num_workers_));
-  for (int w = 0; w < num_workers_; ++w)
-    deques_.push_back(std::make_unique<deque_slot>());
+  for (int w = 0; w < num_workers_; ++w) {
+    auto slot = std::make_unique<deque_slot>();
+    // Victim tiers from the topology distance: SMT sibling (0), same NUMA
+    // domain (1), remote (2). Ring order from w+1 within each tier keeps
+    // the flat ring's neighbor-first determinism inside a tier.
+    slot->victims.reserve(static_cast<std::size_t>(num_workers_ - 1));
+    for (int tier = 0; tier < 3; ++tier) {
+      for (int k = 1; k < num_workers_; ++k) {
+        const int v = (w + k) % num_workers_;
+        if (tm.steal_distance(w, v) == tier) slot->victims.push_back(v);
+      }
+      slot->tier_end[tier] = static_cast<int>(slot->victims.size());
+    }
+    deques_.push_back(std::move(slot));
+  }
 }
 
 void work_stealing_policy::push_remote(thread_manager& tm, int target, task* t) {
@@ -52,6 +77,15 @@ void work_stealing_policy::enqueue_ready(thread_manager& tm, int home, task* t) 
   push_remote(tm, target, t);
 }
 
+void work_stealing_policy::enqueue_hinted(thread_manager& tm, int target, task* t) {
+  if (target == thread_manager::current_worker()) {
+    if (!t->has_context()) tm.convert(t);
+    deques_[static_cast<std::size_t>(target)]->deque.push(t);
+    return;
+  }
+  push_remote(tm, target, t);
+}
+
 task* work_stealing_policy::get_next(thread_manager& tm, int w) {
   worker_counters& c = tm.worker(w).counters;
   deque_slot& mine = *deques_[static_cast<std::size_t>(w)];
@@ -67,29 +101,61 @@ task* work_stealing_policy::get_next(thread_manager& tm, int w) {
   if (auto t = mine.inbox.pop()) return *t;
   c.extra_pending_misses.fetch_add(1, std::memory_order_relaxed);
 
-  // Thief side: ring order over all other workers. One probe (one counted
-  // access) per steal attempt, regardless of internal CAS retries; a victim
-  // whose deque is dry gets a second probe into its inbox.
-  const int n = num_workers_;
-  for (int k = 1; k < n; ++k) {
-    const int victim = (w + k) % n;
+  // Thief side. One probe (one counted access) per steal attempt,
+  // regardless of internal CAS retries; a victim whose deque is dry gets a
+  // second probe into its inbox. Ordering the `stolen` bump before the
+  // `stolen-remote` bump keeps the derived stolen-local counter from
+  // underflowing under concurrent reads.
+  const auto try_victim = [&](int victim) -> task* {
     deque_slot& v = *deques_[static_cast<std::size_t>(victim)];
     c.extra_pending_accesses.fetch_add(1, std::memory_order_relaxed);
     if (auto t = v.deque.steal()) {
+      const int distance = tm.steal_distance(w, victim);
       c.tasks_stolen.fetch_add(1, std::memory_order_relaxed);
+      if (distance == 2)
+        c.tasks_stolen_remote.fetch_add(1, std::memory_order_relaxed);
       perf::trace_emit(tm.worker(w).trace, perf::trace_kind::steal, w, (*t)->id(),
-                       static_cast<std::uint32_t>(victim));
+                       perf::steal_arg2(victim, distance));
       return *t;
     }
     c.extra_pending_misses.fetch_add(1, std::memory_order_relaxed);
     c.extra_pending_accesses.fetch_add(1, std::memory_order_relaxed);
     if (auto t = v.inbox.pop()) {
+      const int distance = tm.steal_distance(w, victim);
       c.tasks_stolen.fetch_add(1, std::memory_order_relaxed);
+      if (distance == 2)
+        c.tasks_stolen_remote.fetch_add(1, std::memory_order_relaxed);
       perf::trace_emit(tm.worker(w).trace, perf::trace_kind::steal, w, (*t)->id(),
-                       static_cast<std::uint32_t>(victim));
+                       perf::steal_arg2(victim, distance));
       return *t;
     }
     c.extra_pending_misses.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  };
+
+  if (hier_) {
+    // Tier by tier: SMT sibling, same domain, remote. The per-sweep nonce
+    // rotates the starting victim within each tier so simultaneously idle
+    // workers fan out instead of converging on the same victim (the flat
+    // ring's herd: every idle worker's first probe was w+1).
+    const std::uint32_t r = mine.nonce++;
+    int begin = 0;
+    for (int tier = 0; tier < 3; ++tier) {
+      const int end = mine.tier_end[tier];
+      const int size = end - begin;
+      for (int k = 0; k < size; ++k) {
+        const int idx = begin + static_cast<int>((r + static_cast<std::uint32_t>(k)) %
+                                                 static_cast<std::uint32_t>(size));
+        if (task* t = try_victim(mine.victims[static_cast<std::size_t>(idx)]))
+          return t;
+      }
+      begin = end;
+    }
+  } else {
+    // Flat ablation baseline: fixed ring order over all other workers.
+    const int n = num_workers_;
+    for (int k = 1; k < n; ++k)
+      if (task* t = try_victim((w + k) % n)) return t;
   }
 
   // Low-priority work last, as in every policy.

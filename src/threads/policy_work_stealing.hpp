@@ -10,10 +10,19 @@
 // the deques run dry. On-worker spawns and wakes — the hot path at fine
 // granularity — take the no-CAS owner push.
 //
+// Victim selection is topology-hierarchical by default ("hier"): each
+// worker probes its SMT sibling first (shared L1/L2 — stolen state is
+// already hot), then the rest of its NUMA domain (shared L3 / local
+// memory), then remote domains. Within each tier the starting victim
+// rotates per steal sweep, so a herd of simultaneously idle workers fans
+// out over different victims instead of all hammering w+1.
+// cfg.steal_order = "flat" keeps the old fixed (w+k) % n ring as the
+// ablation baseline (bench/ablation_topology measures the difference).
+//
 // Differences from the paper's priority-local-FIFO, on purpose:
 //   * no staged stage — tasks receive their context at spawn time, so the
 //     creation cost is paid by the spawner instead of the first scheduler;
-//   * no NUMA-ordered search — victims are probed in ring order.
+//   * LIFO owner order vs the paper's FIFO queues.
 // This is the contrast case for bench/ablation_scheduler ("different
 // schedulers optimize performance for different task size", paper §I-A).
 #pragma once
@@ -37,14 +46,33 @@ class work_stealing_policy final : public scheduling_policy {
   void init(thread_manager& tm) override;
   void enqueue_new(thread_manager& tm, int home, task* t) override;
   void enqueue_ready(thread_manager& tm, int home, task* t) override;
+  void enqueue_hinted(thread_manager& tm, int target, task* t) override;
   task* get_next(thread_manager& tm, int w) override;
   bool queues_empty(const thread_manager& tm) const override;
+
+  // The concatenated victim tiers worker `w` probes, in order (tests).
+  const std::vector<int>& steal_order(int w) const {
+    return deques_[static_cast<std::size_t>(w)]->victims;
+  }
+  // Offsets into steal_order(w): [0, tier_end[0]) are SMT siblings,
+  // [tier_end[0], tier_end[1]) same-domain, [tier_end[1], tier_end[2])
+  // remote.
+  const int* steal_tier_ends(int w) const {
+    return deques_[static_cast<std::size_t>(w)]->tier_end;
+  }
 
  private:
   struct alignas(cache_line_size) deque_slot {
     chase_lev_deque<task*> deque{256};
     // Cross-worker hand-off lane; lock-free unless it overflows.
     concurrent_fifo<task*> inbox{256};
+    // Precomputed victim order: SMT siblings, then same-domain workers, then
+    // remote workers; tier_end[i] is the exclusive end of tier i.
+    std::vector<int> victims;
+    int tier_end[3] = {0, 0, 0};
+    // Per-sweep rotation nonce. Owner-only state (read and written solely by
+    // worker `w` inside get_next), hence no atomic.
+    std::uint32_t nonce = 0;
   };
 
   // Routes a task enqueued from outside worker `target` into its inbox.
@@ -52,6 +80,7 @@ class work_stealing_policy final : public scheduling_policy {
 
   std::vector<std::unique_ptr<deque_slot>> deques_;
   int num_workers_ = 0;  // cached in init(); tm's count never changes after
+  bool hier_ = true;     // victim order: hierarchical vs flat ring
   std::atomic<std::uint64_t> rr_{0};
 };
 

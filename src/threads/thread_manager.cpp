@@ -32,16 +32,36 @@ thread_manager::thread_manager(scheduler_config cfg)
       low_queue_(cfg_.queue_ring_capacity),
       stacks_(cfg_.stack_size ? cfg_.stack_size : stack_pool::default_stack_size()) {
   const topology& topo = topology::host();
+  const std::vector<int> allowed = allowed_cpus();
 
-  // Worker count: explicit config > GRAN_WORKERS env > one per logical CPU.
+  // Worker count: explicit config > GRAN_WORKERS env > one per *available*
+  // logical CPU. In a container the cgroup cpuset is often a strict subset
+  // of the CPUs sysfs lists; spawning a worker per listed CPU would
+  // oversubscribe the granted ones.
   int workers = cfg_.num_workers;
   if (workers <= 0)
     workers = static_cast<int>(env_int("GRAN_WORKERS", 0));
-  if (workers <= 0) workers = topo.num_cpus();
+  if (workers <= 0) {
+    int available = 0;
+    for (const int cpu : allowed)
+      if (topo.find_cpu(cpu) != nullptr) ++available;
+    workers = available > 0 ? available : topo.num_cpus();
+  }
   GRAN_ASSERT(workers >= 1);
 
-  num_numa_domains_ = cfg_.numa_domains > 0 ? cfg_.numa_domains
-                                            : std::max(1, topo.num_numa_nodes());
+  // CPU assignment plan: physical cores first, SMT siblings last, restricted
+  // to the allowed cpuset (topo/pin_plan.hpp). pin_workers=false forces the
+  // unpinned plan, which still yields the domain spread the policies need.
+  plan_ = pin_plan::build(topo, allowed, workers,
+                          cfg_.pin_workers ? resolve_pin_mode(cfg_.pin)
+                                           : pin_mode::none);
+
+  // Domain count: explicit config override (simulation ablations pretend a
+  // multi-node machine) keeps the pre-plan even spread; otherwise the plan's
+  // dense domains are authoritative.
+  const bool domains_overridden = cfg_.numa_domains > 0;
+  num_numa_domains_ = domains_overridden ? cfg_.numa_domains
+                                         : std::max(1, plan_.num_domains);
   num_numa_domains_ = std::min(num_numa_domains_, workers);
 
   const int high_queues =
@@ -52,9 +72,13 @@ thread_manager::thread_manager(scheduler_config cfg)
   for (int w = 0; w < workers; ++w) {
     auto wd = std::make_unique<worker_data>(cfg_.queue_ring_capacity);
     wd->index = w;
-    // Spread workers evenly over the NUMA domains, first domains first —
-    // matches how HPX fills sockets with one OS thread per core.
-    wd->numa_node = w * num_numa_domains_ / workers;
+    const worker_assignment& a = plan_.workers[static_cast<std::size_t>(w)];
+    // Domain from the plan, unless overridden: then spread workers evenly,
+    // first domains first — matches how HPX fills sockets.
+    wd->numa_node = domains_overridden ? w * num_numa_domains_ / workers
+                                       : std::min(a.domain, num_numa_domains_ - 1);
+    wd->core = a.core;
+    wd->cpu = a.cpu;
     wd->owns_high_queue = w < high_queues;
     workers_by_node_[static_cast<std::size_t>(wd->numa_node)].push_back(w);
     workers_.push_back(std::move(wd));
@@ -99,6 +123,44 @@ std::uint64_t thread_manager::spawn(task::body_fn body, task_priority priority,
   policy_->enqueue_new(*this, home, t);
   notify_work();
   return id;
+}
+
+std::uint64_t thread_manager::spawn_on(int worker_hint, task::body_fn body,
+                                       task_priority priority,
+                                       const char* description) {
+  if (worker_hint < 0 || worker_hint >= num_workers())
+    return spawn(std::move(body), priority, description);
+  GRAN_ASSERT_MSG(running_.load(std::memory_order_acquire),
+                  "spawn_on a stopped thread_manager");
+  auto* t = new task(std::move(body), priority, description);
+  t->set_owner(this);
+  const std::uint64_t id = t->id();
+  tasks_alive_.fetch_add(1, std::memory_order_acq_rel);
+  policy_->enqueue_hinted(*this, worker_hint, t);
+  notify_work();
+  return id;
+}
+
+int thread_manager::steal_distance(int thief, int victim) const noexcept {
+  const worker_data& a = worker(thief);
+  const worker_data& b = worker(victim);
+  if (a.core >= 0 && a.core == b.core) return 0;
+  if (a.numa_node == b.numa_node) return 1;
+  return 2;
+}
+
+int thread_manager::home_worker_for_block(std::uint64_t index,
+                                          std::uint64_t total) const noexcept {
+  const auto n = static_cast<std::uint64_t>(num_workers());
+  if (total == 0) return static_cast<int>(index % n);
+  if (index >= total) index = total - 1;
+  // Block distribution over the domains (block b of N lives on domain
+  // b*D/N), then round-robin among that domain's workers.
+  const auto domains = static_cast<std::uint64_t>(num_numa_domains_);
+  const auto d = static_cast<std::size_t>(index * domains / total);
+  const std::vector<int>& ws = workers_by_node_[d];
+  if (ws.empty()) return static_cast<int>(index % n);
+  return ws[static_cast<std::size_t>(index % ws.size())];
 }
 
 thread_manager* thread_manager::current() noexcept { return tl_manager; }
@@ -166,10 +228,18 @@ void thread_manager::worker_main(int w) {
   tl_manager = this;
   tl_worker = w;
 
-  if (cfg_.pin_workers && topology::host().num_cpus() >= num_workers())
-    pin_current_thread(w % topology::host().num_cpus());
-
   worker_data& me = worker(w);
+
+  // Pin to the planned CPU (-1 = the plan left this worker unpinned). A
+  // rejected pin (CPU went offline, cpuset shrank after planning) is not
+  // silent: it perturbs every measurement taken on this worker.
+  if (me.cpu >= 0 && !pin_current_thread(me.cpu)) {
+    pins_rejected_.fetch_add(1, std::memory_order_relaxed);
+    perf::trace_emit(me.trace, perf::trace_kind::pin_rejected, w,
+                     static_cast<std::uint64_t>(me.cpu));
+    GRAN_LOG_WARN("worker %d: kernel rejected pin to cpu %d; running unpinned",
+                  w, me.cpu);
+  }
   std::uint64_t stamp = tsc_clock::now();
   idle_backoff idler(cfg_.idle_spin_limit, cfg_.idle_yield_limit);
 
@@ -331,6 +401,8 @@ thread_manager::totals thread_manager::counter_totals() const {
     exec_ticks += c.exec_ticks.load(std::memory_order_relaxed);
     func_ticks += c.func_ticks.load(std::memory_order_relaxed);
     sum.tasks_stolen += c.tasks_stolen.load(std::memory_order_relaxed);
+    sum.tasks_stolen_remote +=
+        c.tasks_stolen_remote.load(std::memory_order_relaxed);
     sum.tasks_converted += c.tasks_converted.load(std::memory_order_relaxed);
 
     const queue_access_counts q = wd->queue.counts();
@@ -445,6 +517,23 @@ void thread_manager::register_counters() {
   reg.add("/threads/count/stolen", counter_kind::monotonic,
           "tasks obtained from another worker's queues",
           [tot] { return static_cast<double>(tot().tasks_stolen); });
+  // Locality split of /threads/count/stolen. Writers bump `stolen` before
+  // `stolen-remote`, and local is derived as the guarded difference, so
+  // stolen-local + stolen-remote == stolen even against in-flight updates.
+  reg.add("/threads/count/stolen-local", counter_kind::monotonic,
+          "stolen tasks whose victim shares the thief's NUMA domain",
+          [tot] {
+            const auto s = tot();
+            return static_cast<double>(
+                s.tasks_stolen - std::min(s.tasks_stolen, s.tasks_stolen_remote));
+          });
+  reg.add("/threads/count/stolen-remote", counter_kind::monotonic,
+          "stolen tasks whose victim lives in a different NUMA domain",
+          [tot] { return static_cast<double>(tot().tasks_stolen_remote); });
+  reg.add("/threads/count/pin-rejected", counter_kind::monotonic,
+          "worker CPU pins the kernel rejected (lifetime total; not cleared "
+          "by reset_counters)",
+          [this] { return static_cast<double>(pins_rejected()); });
   reg.add("/threads/count/converted", counter_kind::monotonic,
           "staged->pending conversions",
           [tot] { return static_cast<double>(tot().tasks_converted); });
@@ -546,6 +635,19 @@ void thread_manager::register_counters() {
             "tasks this worker obtained from another worker's queues", [wd] {
               return static_cast<double>(
                   wd->counters.tasks_stolen.load(std::memory_order_relaxed));
+            });
+    reg.add(inst + "/count/stolen-local", counter_kind::monotonic,
+            "tasks this worker stole within its NUMA domain", [wd] {
+              const auto s =
+                  wd->counters.tasks_stolen.load(std::memory_order_relaxed);
+              const auto r = wd->counters.tasks_stolen_remote.load(
+                  std::memory_order_relaxed);
+              return static_cast<double>(s - std::min(s, r));
+            });
+    reg.add(inst + "/count/stolen-remote", counter_kind::monotonic,
+            "tasks this worker stole from a different NUMA domain", [wd] {
+              return static_cast<double>(wd->counters.tasks_stolen_remote.load(
+                  std::memory_order_relaxed));
             });
     for (const double p : {50.0, 95.0, 99.0}) {
       const std::string tag = "p" + std::to_string(static_cast<int>(p));

@@ -25,6 +25,7 @@
 #include "threads/policy.hpp"
 #include "threads/task.hpp"
 #include "threads/worker.hpp"
+#include "topo/pin_plan.hpp"
 #include "util/cacheline.hpp"
 
 namespace gran {
@@ -47,6 +48,14 @@ class thread_manager {
   std::uint64_t spawn(task::body_fn body,
                       task_priority priority = task_priority::normal,
                       const char* description = "<task>");
+
+  // spawn with a placement hint: prefer queuing on worker `worker_hint`
+  // (e.g. the worker whose NUMA domain owns the task's data — see
+  // home_worker_for_block). A hint, not a binding: any worker may still
+  // steal the task. Out-of-range hints fall back to plain spawn.
+  std::uint64_t spawn_on(int worker_hint, task::body_fn body,
+                         task_priority priority = task_priority::normal,
+                         const char* description = "<task>");
 
   // --- used by synchronization primitives --------------------------------
 
@@ -92,6 +101,24 @@ class thread_manager {
   const scheduler_config& config() const noexcept { return cfg_; }
   scheduling_policy& policy() noexcept { return *policy_; }
 
+  // The topology-aware CPU assignment plan computed at construction.
+  const pin_plan& plan() const noexcept { return plan_; }
+  // Worker pins the kernel rejected (CPU offline / outside the cpuset);
+  // counts since construction, not cleared by reset_counters().
+  std::uint64_t pins_rejected() const noexcept {
+    return pins_rejected_.load(std::memory_order_relaxed);
+  }
+
+  // Topology distance from `thief` to `victim`: 0 = SMT siblings (same
+  // physical core), 1 = same NUMA/locality domain, 2 = remote domain.
+  int steal_distance(int thief, int victim) const noexcept;
+
+  // Preferred worker for block `index` of `total` equally sized data blocks:
+  // block distribution over the NUMA domains, round-robin among each
+  // domain's workers. Deterministic; used for NUMA-aware home placement of
+  // data-parallel tasks (graph/futurize.hpp, algo/parallel_for.hpp).
+  int home_worker_for_block(std::uint64_t index, std::uint64_t total) const noexcept;
+
   worker_data& worker(int w) { return *workers_[static_cast<std::size_t>(w)]; }
   const worker_data& worker(int w) const { return *workers_[static_cast<std::size_t>(w)]; }
   const std::vector<int>& workers_of_node(int node) const {
@@ -112,6 +139,7 @@ class thread_manager {
     std::uint64_t exec_ns = 0;   // Σ t_exec
     std::uint64_t func_ns = 0;   // Σ t_func (worker loop time, ⊇ exec)
     std::uint64_t tasks_stolen = 0;
+    std::uint64_t tasks_stolen_remote = 0;  // subset of stolen: cross-domain
     std::uint64_t tasks_converted = 0;
     queue_access_counts queues;  // summed over every dual queue
   };
@@ -152,6 +180,8 @@ class thread_manager {
   std::vector<std::unique_ptr<worker_data>> workers_;
   std::vector<std::vector<int>> workers_by_node_;
   int num_numa_domains_ = 1;
+  pin_plan plan_;
+  std::atomic<std::uint64_t> pins_rejected_{0};
 
   dual_queue<task*, task*> low_queue_;
   stack_pool stacks_;

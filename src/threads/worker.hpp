@@ -26,6 +26,10 @@ struct worker_counters {
   std::atomic<std::uint64_t> exec_ticks{0};        // Σ t_exec (TSC ticks)
   std::atomic<std::uint64_t> func_ticks{0};        // worker-loop wall ticks
   std::atomic<std::uint64_t> tasks_stolen{0};      // obtained from another worker
+  // Subset of tasks_stolen taken from a victim in a *different* NUMA/locality
+  // domain; stolen-local is derived as (stolen - stolen_remote), so
+  // stolen-local + stolen-remote == stolen holds by construction.
+  std::atomic<std::uint64_t> tasks_stolen_remote{0};
   std::atomic<std::uint64_t> tasks_converted{0};   // staged -> pending transforms
   // Queue-probe counts for policies that bypass the instrumented dual_queue
   // (work-stealing-lifo keeps its own deques); zero otherwise.
@@ -38,6 +42,7 @@ struct worker_counters {
     exec_ticks.store(0, std::memory_order_relaxed);
     func_ticks.store(0, std::memory_order_relaxed);
     tasks_stolen.store(0, std::memory_order_relaxed);
+    tasks_stolen_remote.store(0, std::memory_order_relaxed);
     tasks_converted.store(0, std::memory_order_relaxed);
     extra_pending_accesses.store(0, std::memory_order_relaxed);
     extra_pending_misses.store(0, std::memory_order_relaxed);
@@ -73,7 +78,14 @@ struct worker_data {
   perf::trace_ring* trace = nullptr;
 
   int index = -1;
+  // Dense NUMA/locality domain from the pin plan (or the even spread when
+  // unpinned); the policies' same-domain steal tier keys off this.
   int numa_node = 0;
+  // Dense physical-core id from the pin plan; workers sharing it are SMT
+  // siblings. -1 when the worker is unpinned (no core identity).
+  int core = -1;
+  // Logical CPU this worker is pinned to; -1 = unpinned.
+  int cpu = -1;
   bool owns_high_queue = false;
 };
 

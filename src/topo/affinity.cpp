@@ -31,4 +31,14 @@ int current_cpu() {
 #endif
 }
 
+std::vector<int> allowed_cpus() {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) != 0) return {};
+  std::vector<int> out;
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu)
+    if (CPU_ISSET(static_cast<unsigned>(cpu), &set)) out.push_back(cpu);
+  return out;
+}
+
 }  // namespace gran

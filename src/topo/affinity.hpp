@@ -2,6 +2,8 @@
 // core by default; the thread manager uses these helpers to do the same.
 #pragma once
 
+#include <vector>
+
 namespace gran {
 
 // Pins the calling thread to the given logical CPU. Returns false if the
@@ -14,5 +16,10 @@ bool unpin_current_thread();
 
 // The CPU the calling thread last ran on (-1 if unavailable).
 int current_cpu();
+
+// Logical CPUs the calling thread is allowed to run on (sched_getaffinity),
+// ascending. In containers/cgroups this is the actually usable cpuset —
+// often a strict subset of the CPUs the topology lists. Empty on failure.
+std::vector<int> allowed_cpus();
 
 }  // namespace gran

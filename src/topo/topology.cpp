@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <thread>
 
@@ -42,32 +43,48 @@ std::size_t parse_cache_size(const std::string& s) {
   return static_cast<std::size_t>(v) * mult;
 }
 
-// Counts CPUs in a cpulist such as "0-3,8-11".
-int count_cpulist(const std::string& list) {
-  int count = 0;
+}  // namespace
+
+std::vector<int> parse_cpulist(const std::string& list) {
+  std::vector<int> out;
   std::stringstream ss(list);
   std::string range;
   while (std::getline(ss, range, ',')) {
+    if (range.empty()) continue;
     const auto dash = range.find('-');
-    if (dash == std::string::npos) {
-      if (!range.empty()) ++count;
-    } else {
-      const int lo = std::atoi(range.substr(0, dash).c_str());
-      const int hi = std::atoi(range.substr(dash + 1).c_str());
-      count += hi - lo + 1;
+    try {
+      if (dash == std::string::npos) {
+        out.push_back(std::stoi(range));
+      } else {
+        const int lo = std::stoi(range.substr(0, dash));
+        const int hi = std::stoi(range.substr(dash + 1));
+        for (int c = lo; c <= hi; ++c) out.push_back(c);
+      }
+    } catch (...) {
+      // Skip malformed entries; sysfs never produces them, fuzzed/fake
+      // inputs should degrade instead of throwing.
     }
   }
-  return count;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
-topology discover_host() {
-  const int n = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+topology topology::discover(const std::string& sysfs_cpu_root) {
+  // The `online` cpulist is authoritative: CPU ids may be non-contiguous
+  // (offline CPUs, sparse cgroup topologies). Without it, fall back to a
+  // dense 0..hardware_concurrency-1 range.
+  std::vector<int> ids = parse_cpulist(read_sysfs(sysfs_cpu_root + "/online"));
+  if (ids.empty()) {
+    const int n = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+    for (int cpu = 0; cpu < n; ++cpu) ids.push_back(cpu);
+  }
 
   std::vector<cpu_info> cpus;
-  cpus.reserve(static_cast<std::size_t>(n));
+  cpus.reserve(ids.size());
   int max_node = 0;
-  for (int cpu = 0; cpu < n; ++cpu) {
-    const std::string base = "/sys/devices/system/cpu/cpu" + std::to_string(cpu);
+  for (const int cpu : ids) {
+    const std::string base = sysfs_cpu_root + "/cpu" + std::to_string(cpu);
     cpu_info info;
     info.os_index = cpu;
     info.core_id = read_sysfs_int(base + "/topology/core_id", cpu);
@@ -85,26 +102,25 @@ topology discover_host() {
   }
 
   std::vector<cache_info> caches;
+  const int cpu0 = ids.front();
   for (int idx = 0; idx < 8; ++idx) {
-    const std::string base =
-        "/sys/devices/system/cpu/cpu0/cache/index" + std::to_string(idx);
+    const std::string base = sysfs_cpu_root + "/cpu" + std::to_string(cpu0) +
+                             "/cache/index" + std::to_string(idx);
     const std::string level = read_sysfs(base + "/level");
     if (level.empty()) break;
     cache_info c;
     c.level = std::atoi(level.c_str());
     c.type = read_sysfs(base + "/type");
     c.size_bytes = parse_cache_size(read_sysfs(base + "/size"));
-    c.shared = count_cpulist(read_sysfs(base + "/shared_cpu_list")) > 1;
+    c.shared = parse_cpulist(read_sysfs(base + "/shared_cpu_list")).size() > 1;
     caches.push_back(c);
   }
 
   return topology::from_parts(std::move(cpus), std::move(caches), max_node + 1);
 }
 
-}  // namespace
-
 const topology& topology::host() {
-  static const topology instance = discover_host();
+  static const topology instance = discover("/sys/devices/system/cpu");
   return instance;
 }
 
@@ -135,9 +151,16 @@ topology topology::from_parts(std::vector<cpu_info> cpus, std::vector<cache_info
   return t;
 }
 
+const cpu_info* topology::find_cpu(int os_index) const {
+  for (const auto& c : cpus_)
+    if (c.os_index == os_index) return &c;
+  return nullptr;
+}
+
 int topology::numa_node_of(int cpu) const {
-  GRAN_ASSERT(cpu >= 0 && cpu < num_cpus());
-  return cpus_[static_cast<std::size_t>(cpu)].numa_node;
+  const cpu_info* info = find_cpu(cpu);
+  GRAN_ASSERT_MSG(info != nullptr, "numa_node_of: unknown CPU");
+  return info->numa_node;
 }
 
 std::vector<int> topology::cpus_of_node(int node) const {
@@ -145,6 +168,22 @@ std::vector<int> topology::cpus_of_node(int node) const {
   for (const auto& c : cpus_)
     if (c.numa_node == node) out.push_back(c.os_index);
   return out;
+}
+
+std::vector<int> topology::smt_siblings_of(int cpu) const {
+  const cpu_info* info = find_cpu(cpu);
+  if (info == nullptr) return {cpu};
+  std::vector<int> out;
+  for (const auto& c : cpus_)
+    if (c.package_id == info->package_id && c.core_id == info->core_id)
+      out.push_back(c.os_index);
+  return out;
+}
+
+int topology::num_physical_cores() const {
+  std::set<std::pair<int, int>> cores;
+  for (const auto& c : cpus_) cores.emplace(c.package_id, c.core_id);
+  return static_cast<int>(cores.size());
 }
 
 }  // namespace gran

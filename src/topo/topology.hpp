@@ -26,12 +26,22 @@ struct cache_info {
   bool shared = false;       // shared by more than one logical CPU
 };
 
+// Parses a sysfs cpulist such as "0-3,8-11,16" into ascending CPU ids.
+// Malformed ranges are skipped; the empty string yields an empty vector.
+std::vector<int> parse_cpulist(const std::string& list);
+
 // Immutable snapshot of the machine, built once.
 class topology {
  public:
   // Discovers the host topology (sysfs; falls back to a flat single-node
   // layout of hardware_concurrency CPUs).
   static const topology& host();
+
+  // Discovery against an explicit sysfs cpu directory (the host's
+  // /sys/devices/system/cpu, or a fake tree in tests). Honors the `online`
+  // cpulist when present — CPU ids need not be contiguous and offline CPUs
+  // are excluded — and falls back to 0..hardware_concurrency-1 otherwise.
+  static topology discover(const std::string& sysfs_cpu_root);
 
   // Builds a synthetic topology: `cpus` logical CPUs spread evenly over
   // `numa_nodes` nodes. Used by tests and by the simulator's machine models.
@@ -46,11 +56,22 @@ class topology {
   const std::vector<cpu_info>& cpus() const noexcept { return cpus_; }
   const std::vector<cache_info>& caches() const noexcept { return caches_; }
 
-  // NUMA node owning the given logical CPU.
+  // Looks up a logical CPU by its OS index (ids may be non-contiguous);
+  // nullptr when the CPU is not part of this topology.
+  const cpu_info* find_cpu(int os_index) const;
+
+  // NUMA node owning the given logical CPU (by OS index).
   int numa_node_of(int cpu) const;
 
   // All logical CPUs of a NUMA node, ascending.
   std::vector<int> cpus_of_node(int node) const;
+
+  // Logical CPUs sharing `cpu`'s physical core (same package + core id),
+  // including `cpu` itself, ascending. {cpu} when the CPU is unknown.
+  std::vector<int> smt_siblings_of(int cpu) const;
+
+  // Distinct physical cores (package, core_id pairs).
+  int num_physical_cores() const;
 
  private:
   topology() = default;

@@ -242,7 +242,8 @@ TEST(ThreadManager, InstanceCountersSumToAggregate) {
     });
   tm.wait_idle();
 
-  for (const char* name : {"count/cumulative", "count/stolen"}) {
+  for (const char* name : {"count/cumulative", "count/stolen", "count/stolen-local",
+                           "count/stolen-remote"}) {
     const double aggregate =
         reg.value_or(std::string("/threads/") + name, -1);
     ASSERT_GE(aggregate, 0.0) << name;
@@ -254,6 +255,28 @@ TEST(ThreadManager, InstanceCountersSumToAggregate) {
   }
   EXPECT_EQ(reg.value_or("/threads/count/cumulative", -1),
             static_cast<double>(n));
+
+  // The locality split decomposes the steal count.
+  const double stolen = reg.value_or("/threads/count/stolen", -1);
+  const double local = reg.value_or("/threads/count/stolen-local", -1);
+  const double remote = reg.value_or("/threads/count/stolen-remote", -1);
+  EXPECT_EQ(local + remote, stolen);
+}
+
+TEST(ThreadManager, PinPlanExposedAndNoRejectedPins) {
+  // test_config disables pinning, so the plan leaves every worker unpinned
+  // and no pin can have been rejected.
+  thread_manager tm(test_config(3));
+  const auto& plan = tm.plan();
+  EXPECT_FALSE(plan.pinned());
+  ASSERT_EQ(plan.workers.size(), 3u);
+  for (const auto& a : plan.workers) {
+    EXPECT_EQ(a.cpu, -1);
+    EXPECT_GE(a.domain, 0);
+  }
+  EXPECT_EQ(tm.pins_rejected(), 0u);
+  auto& reg = perf::registry::instance();
+  EXPECT_EQ(reg.value_or("/threads/count/pin-rejected", -1), 0.0);
 }
 
 TEST(ThreadManager, TaskDurationHistogramCounters) {

@@ -67,6 +67,29 @@ TEST(GrainTuner, HistoryRecordsDecisions) {
   EXPECT_EQ(t.history()[1].chunk_after, 32u);
 }
 
+TEST(GrainTuner, HistoryIsBoundedByLimit) {
+  tuner_options opts;
+  opts.history_limit = 4;
+  grain_tuner t(16, opts);
+  for (int i = 0; i < 10; ++i) t.update(0.01 * i, 1000, 4);
+  const auto h = t.history();
+  ASSERT_EQ(h.size(), 4u);
+  EXPECT_EQ(t.dropped_decisions(), 6u);
+  // Chronological order: the ring keeps the newest `limit` decisions.
+  for (std::size_t i = 0; i < h.size(); ++i)
+    EXPECT_DOUBLE_EQ(h[i].idle_rate, 0.01 * static_cast<double>(6 + i));
+}
+
+TEST(GrainTuner, HistoryLimitZeroKeepsNothing) {
+  tuner_options opts;
+  opts.history_limit = 0;
+  grain_tuner t(16, opts);
+  for (int i = 0; i < 5; ++i) t.update(0.45, 1000, 4);
+  EXPECT_TRUE(t.history().empty());
+  EXPECT_EQ(t.dropped_decisions(), 5u);
+  EXPECT_EQ(t.chunk(), 512u);  // tuning itself is unaffected by the cap
+}
+
 TEST(GrainTuner, CustomFactors) {
   tuner_options opts;
   opts.grow_factor = 4.0;
