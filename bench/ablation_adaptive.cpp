@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/tuner.hpp"
+#include "perf/observability.hpp"
 #include "sync/latch.hpp"
 #include "topo/topology.hpp"
 #include "util/cli.hpp"
@@ -52,6 +53,8 @@ double run_static(thread_manager& tm, std::size_t n, std::size_t chunk,
 
 int main(int argc, char** argv) {
   const cli_args args(argc, argv);
+  perf::observability_session obs(perf::observability_session::options_from_cli(
+      args, perf::observability_session::options_from_env()));
   const std::size_t n = static_cast<std::size_t>(args.get_int("items", 2'000'000));
   const int workers = static_cast<int>(
       args.get_int("workers", std::min(4, topology::host().num_cpus() * 2)));

@@ -18,6 +18,7 @@ using namespace gran::bench;
 
 int main(int argc, char** argv) {
   const cli_args args(argc, argv);
+  perf::observability_session obs(bench::observability_options(args));
   const fig_options opt = parse_fig_options(args);
 
   struct policy_case {

@@ -27,9 +27,13 @@
 //   --window=N         native construction window, rows (default 0 = none)
 //   --platform=NAME    sim platform (default haswell)  --cores=N (default: all)
 //   --csv=PREFIX       also write PREFIXgraph_sweep_<pattern>.csv
+//   --report           native mode: trace the whole sweep and print the
+//                      offline analysis (critical path, per-task waits,
+//                      Eq. 1–3 recomputed from events) after the table;
+//                      see docs/ANALYSIS.md
 //
-// Observability flags (--trace-out, --sample-interval-us, ...) are honored
-// in native mode; see docs/TRACING.md.
+// Observability flags (--trace-out, --trace-bin, --sample-interval-us, ...)
+// are honored in native mode; see docs/TRACING.md.
 #include <iostream>
 #include <memory>
 #include <string>
@@ -38,6 +42,7 @@
 #include "core/graph_experiment.hpp"
 #include "graph/kernels.hpp"
 #include "graph/spec.hpp"
+#include "perf/analysis.hpp"
 #include "perf/observability.hpp"
 #include "sim/graph_sim.hpp"
 #include "sim/machine_model.hpp"
@@ -125,6 +130,12 @@ int main(int argc, char** argv) {
 
   const bool full = args.has("full");
   const bool sim_mode = args.get("mode", "native") == "sim";
+  const bool report = args.has("report") && !sim_mode;
+  // --report needs events even when no export flag turned tracing on. Must
+  // happen before the backend builds its first thread manager.
+  if (report)
+    perf::tracer::instance().enable(
+        static_cast<std::size_t>(args.get_int("trace-buf", 0)));
 
   std::unique_ptr<core::graph_backend> backend;
   int cores;
@@ -141,10 +152,26 @@ int main(int argc, char** argv) {
   }
 
   const std::string pattern = args.get("pattern", "stencil1d");
+  int rc = 0;
   if (pattern == "all") {
     for (const graph::pattern kind : graph::all_patterns)
-      if (const int rc = run_pattern(*backend, kind, args, full, cores)) return rc;
-    return 0;
+      if ((rc = run_pattern(*backend, kind, args, full, cores)) != 0) break;
+  } else {
+    rc = run_pattern(*backend, graph::pattern_from_name(pattern), args, full, cores);
   }
-  return run_pattern(*backend, graph::pattern_from_name(pattern), args, full, cores);
+
+  if (rc == 0 && report) {
+    // All managers are gone (one per run, destroyed inside the backend), so
+    // the rings are quiescent. The trace spans every run of the sweep —
+    // baselines included — which is exactly what the U-curve question wants
+    // side by side.
+    obs.finish();  // flush any requested exports before analyzing
+    perf::analysis_options opt;
+    opt.top_n = static_cast<int>(args.get_int("top", 10));
+    opt.force_wait_attribution = args.has("force-waits");
+    const perf::trace_dump dump = perf::tracer::instance().dump();
+    std::cout << "\n";
+    perf::write_report(std::cout, perf::analyze_trace(dump, opt), opt);
+  }
+  return rc;
 }

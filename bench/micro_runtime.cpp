@@ -11,6 +11,8 @@
 
 #include "async/gran.hpp"
 #include "fiber/fiber.hpp"
+#include "perf/observability.hpp"
+#include "util/cli.hpp"
 #include "queues/concurrent_fifo.hpp"
 #include "queues/mpmc_bounded.hpp"
 #include "queues/spsc_ring.hpp"
@@ -167,4 +169,17 @@ BENCHMARK(bm_task_with_work)->Arg(160)->Arg(2500)->Arg(12500)->Arg(100000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so an observability_session wraps the runs. The
+// gran flags (--trace-out, --sample-interval-us, ...) are parsed from the
+// original argv before benchmark::Initialize consumes its own; unrecognized
+// leftovers are tolerated on both sides.
+int main(int argc, char** argv) {
+  const gran::cli_args args(argc, argv);
+  gran::perf::observability_session obs(
+      gran::perf::observability_session::options_from_cli(
+          args, gran::perf::observability_session::options_from_env()));
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "perf/observability.hpp"
 #include "queues/chase_lev_deque.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -134,6 +135,8 @@ void run_impl(const std::string& name, std::uint64_t ops, int steal_ms,
 
 int main(int argc, char** argv) {
   const cli_args args(argc, argv);
+  perf::observability_session obs(perf::observability_session::options_from_cli(
+      args, perf::observability_session::options_from_env()));
   const std::string impl = args.get("impl", "both");
   const auto ops = static_cast<std::uint64_t>(args.get_int("ops", 5'000'000));
   const int steal_ms = static_cast<int>(args.get_int("steal-ms", 300));

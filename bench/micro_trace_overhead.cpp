@@ -16,7 +16,11 @@
 //   --json=PATH        write machine-readable results
 //   --baseline=PATH    compare against a previous --json dump; exits 1 when
 //                      the disabled-path throughput regressed more than
-//                      --tolerance-pct (default 1.0)
+//                      --tolerance-pct (default 1.0), or — when the baseline
+//                      recorded on_tasks_per_s — the *enabled*-path
+//                      throughput regressed more than --enabled-tolerance-pct
+//                      (default 10.0; the enabled path is noisier and pays
+//                      one extra event per spawn by design)
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -170,6 +174,27 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << "OK: disabled-path regression within tolerance\n";
+
+    // Enabled-path gate: only when the baseline knows on_tasks_per_s (older
+    // dumps predate it -> skipped, not failed). Looser budget than the
+    // disabled gate: the enabled path legitimately grows with new events
+    // (task_enqueue adds one emit per spawn), the gate catches pathological
+    // regressions like contention on a shared ring.
+    const double base_on = json_number(ss.str(), "on_tasks_per_s");
+    if (base_on > 0) {
+      const double on_tolerance = args.get_double("enabled-tolerance-pct", 10.0);
+      const double on_delta_pct = (1.0 - on_tps / base_on) * 100.0;
+      std::cout << "enabled-path vs baseline: " << format_number(on_delta_pct, 2)
+                << " % slower (tolerance " << format_number(on_tolerance, 1)
+                << " %)\n";
+      if (on_delta_pct > on_tolerance) {
+        std::cerr << "FAIL: tracing-enabled throughput regressed "
+                  << format_number(on_delta_pct, 2) << " % > "
+                  << format_number(on_tolerance, 1) << " %\n";
+        return 1;
+      }
+      std::cout << "OK: enabled-path regression within tolerance\n";
+    }
   }
   return 0;
 }

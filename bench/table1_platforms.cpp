@@ -3,6 +3,7 @@
 // simulator's machine models (src/sim/machine_model.cpp).
 #include <iostream>
 
+#include "perf/observability.hpp"
 #include "topo/platform_spec.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -29,6 +30,8 @@ void add_platform(table_writer& t, const platform_spec& p) {
 
 int main(int argc, char** argv) {
   cli_args args(argc, argv);
+  perf::observability_session obs(perf::observability_session::options_from_cli(
+      args, perf::observability_session::options_from_env()));
 
   table_writer table({"node", "processor", "clock", "microarchitecture", "SMT", "cores",
                       "NUMA", "cache/core", "shared cache", "RAM"});

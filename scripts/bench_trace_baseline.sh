@@ -4,8 +4,11 @@
 # building the bench if needed.
 #
 # When a baseline already exists, the run is first checked against it: the
-# tracing-DISABLED throughput must not regress more than 1% (the bench exits
-# non-zero otherwise), then the baseline is refreshed.
+# tracing-DISABLED throughput must not regress more than 1%, and (when the
+# baseline recorded it) the tracing-ENABLED throughput more than 10% — the
+# enabled path now pays one task_enqueue event per spawn, so its budget is
+# looser but still gated. The bench exits non-zero on either breach, then
+# the baseline is refreshed.
 #
 #   scripts/bench_trace_baseline.sh [--tasks=N] [--spin=N] ...
 set -euo pipefail

@@ -28,6 +28,23 @@ for pattern in trivial serial_chain stencil1d fft binary_tree nearest spread ran
 done
 echo "graph smoke: 8 patterns x {native,sim} ok"
 
+echo "=== ci: trace-report smoke ==="
+# Trace a small graph_sweep into a binary dump, analyze it offline with
+# gran_trace_report, and check the report carries a critical-path line —
+# the analyzer's whole pipeline (emit -> dump -> load -> analyze) in one go.
+trace_tmp=$(mktemp -d)
+trap 'rm -rf "$trace_tmp"' EXIT
+./build/bench/graph_sweep --pattern=stencil1d --width=8 --steps=6 \
+    --grain-min=2000 --grain-max=2000 --samples=1 --workers=2 \
+    --trace-bin="$trace_tmp/trace.bin" >/dev/null
+./build/tools/gran_trace_report --in="$trace_tmp/trace.bin" \
+    > "$trace_tmp/report.txt"
+grep -E "critical path: [0-9.]+ ms \([0-9.]+% of wall, [0-9]+ tasks\)" \
+    "$trace_tmp/report.txt" >/dev/null \
+  || { echo "trace-report smoke: no critical-path line" >&2; \
+       cat "$trace_tmp/report.txt" >&2; exit 1; }
+echo "trace-report smoke: critical-path line ok"
+
 echo "=== ci: topology smoke ==="
 # Hier-vs-flat steal order and both pinning layouts at CI sizes. The forced
 # 2-worker / 2-domain split exercises the remote-steal accounting even on

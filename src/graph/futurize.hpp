@@ -17,8 +17,22 @@
 #include "async/dataflow.hpp"
 #include "async/when_all.hpp"
 #include "graph/spec.hpp"
+#include "perf/trace.hpp"
 
 namespace gran::graph {
+
+// Tags the currently running task with its DAG coordinate so the trace
+// analyzer can map task ids back to graph nodes (perf/analysis.hpp). Called
+// from inside the task body — one relaxed load + branch when tracing is off.
+inline void trace_graph_node(std::uint32_t step, std::uint32_t point) noexcept {
+  if (!perf::tracer::enabled()) return;
+  thread_manager* tm = thread_manager::current();
+  const int w = thread_manager::current_worker();
+  const task* t = thread_manager::current_task();
+  if (tm == nullptr || w < 0 || t == nullptr) return;
+  perf::trace_emit(tm->worker(w).trace, perf::trace_kind::graph_node, w, t->id(),
+                   perf::pack_graph_node(step, point));
+}
 
 template <typename T>
 struct futurized_dag {
@@ -66,6 +80,7 @@ futurized_dag<T> futurize_rows(thread_manager& tm, const graph_spec& g,
       cur[p] = dataflow_all_on(
           tm, priority,
           [body, t, p](const std::vector<future<T>>& in) {
+            trace_graph_node(t, p);
             return (*body)(t, p, in);
           },
           std::move(inputs), hint);

@@ -26,6 +26,9 @@ observability_session::options observability_session::options_from_env() {
   const std::string trace = env_string("GRAN_TRACE", "");
   if (!trace.empty())
     o.trace_out = (trace == "1" || trace == "true") ? "gran_trace.json" : trace;
+  const std::string bin = env_string("GRAN_TRACE_BIN", "");
+  if (!bin.empty())
+    o.trace_bin = (bin == "1" || bin == "true") ? "gran_trace.bin" : bin;
   o.trace_buf_events = static_cast<std::size_t>(env_int("GRAN_TRACE_BUF", 0));
   o.sample_interval_us = static_cast<std::uint64_t>(env_int("GRAN_SAMPLE_US", 0));
   o.sample_out = env_string("GRAN_SAMPLE_OUT", "");
@@ -37,6 +40,7 @@ observability_session::options observability_session::options_from_env() {
 observability_session::options observability_session::options_from_cli(
     const cli_args& args, options base) {
   base.trace_out = args.get("trace-out", base.trace_out);
+  base.trace_bin = args.get("trace-bin", base.trace_bin);
   base.trace_buf_events = static_cast<std::size_t>(
       args.get_int("trace-buf", static_cast<std::int64_t>(base.trace_buf_events)));
   base.sample_interval_us = static_cast<std::uint64_t>(args.get_int(
@@ -48,7 +52,7 @@ observability_session::options observability_session::options_from_cli(
 }
 
 observability_session::observability_session(options opt) : opt_(std::move(opt)) {
-  if (!opt_.trace_out.empty()) {
+  if (!opt_.trace_out.empty() || !opt_.trace_bin.empty()) {
     auto& t = tracer::instance();
     t.enable(opt_.trace_buf_events);
     t.set_export_path(opt_.trace_out);
@@ -81,6 +85,12 @@ void observability_session::finish() {
                                      tracer::instance().total_dropped()
                 << " events written to " << opt_.trace_out
                 << " — load in ui.perfetto.dev)\n";
+  }
+  if (!opt_.trace_bin.empty()) {
+    if (tracer::instance().export_binary(opt_.trace_bin))
+      std::cout << "(trace: binary dump written to " << opt_.trace_bin
+                << " — analyze with gran_trace_report --in=" << opt_.trace_bin
+                << ")\n";
   }
 }
 

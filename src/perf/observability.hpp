@@ -8,6 +8,8 @@
 //
 //   CLI flags                     env fallback        effect
 //   --trace-out=PATH              GRAN_TRACE          Chrome/Perfetto JSON
+//   --trace-bin=PATH              GRAN_TRACE_BIN      binary dump for
+//                                                     gran_trace_report
 //   --trace-buf=N                 GRAN_TRACE_BUF      ring capacity (events)
 //   --sample-interval-us=N        GRAN_SAMPLE_US      sampler period; >0 on
 //   --sample-out=PATH             GRAN_SAMPLE_OUT     .csv or .json series
@@ -27,7 +29,8 @@ namespace gran::perf {
 class observability_session {
  public:
   struct options {
-    std::string trace_out;                  // empty = tracing off
+    std::string trace_out;                  // Chrome JSON path; empty = none
+    std::string trace_bin;                  // binary dump path; empty = none
     std::size_t trace_buf_events = 0;       // 0 = default / GRAN_TRACE_BUF
     std::uint64_t sample_interval_us = 0;   // 0 = sampler off
     std::string sample_out;                 // default gran_samples.csv
@@ -49,7 +52,9 @@ class observability_session {
   // prints one status line per artifact written.
   void finish();
 
-  bool tracing() const { return !opt_.trace_out.empty(); }
+  bool tracing() const {
+    return !opt_.trace_out.empty() || !opt_.trace_bin.empty();
+  }
   bool sampling() const { return sampler_ != nullptr; }
   const sampler_thread* sampler() const { return sampler_.get(); }
 

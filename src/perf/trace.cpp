@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <istream>
 #include <ostream>
+#include <unordered_map>
 
 #include "util/env.hpp"
 
@@ -14,10 +17,29 @@ namespace {
 
 constexpr std::size_t default_ring_capacity = 1u << 16;  // 2 MiB of events/worker
 
+constexpr char binary_magic[8] = {'G', 'R', 'A', 'N', 'T', 'R', 'C', '1'};
+constexpr std::uint32_t binary_version = 1;
+constexpr std::uint32_t no_name = 0xffffffffu;
+// Backstops against nonsense sizes in corrupt dumps, far above real traces.
+constexpr std::uint64_t max_load_events = std::uint64_t{1} << 32;
+constexpr std::uint32_t max_load_names = 1u << 24;
+constexpr std::uint32_t max_load_lanes = 1u << 16;
+
 std::size_t round_up_pow2(std::size_t n) {
   std::size_t c = 1;
   while (c < n) c <<= 1;
   return c;
+}
+
+template <typename T>
+void put_raw(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+bool get_raw(std::istream& is, T& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  return static_cast<bool>(is);
 }
 
 // Minimal JSON string escaping for task descriptions.
@@ -105,11 +127,34 @@ trace_ring* tracer::ring(int worker) {
   return rings_[idx].get();
 }
 
+void tracer::emit_external(trace_kind kind, std::uint64_t arg, std::uint32_t arg2,
+                           const char* name) {
+  if (!enabled()) return;
+  // Lazy creation under the main mutex (same sizing rules as worker rings),
+  // released before taking the emission lock — the two never nest.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!external_ring_)
+      external_ring_ = std::make_unique<trace_ring>(
+          ring_capacity_ ? ring_capacity_ : default_ring_capacity);
+  }
+  trace_event e;
+  e.ticks = tsc_clock::now();
+  e.arg = arg;
+  e.name = name;
+  e.kind = kind;
+  e.worker = external_worker;
+  e.arg2 = arg2;
+  std::lock_guard<std::mutex> lock(external_mutex_);
+  external_ring_->emit(e);
+}
+
 std::uint64_t tracer::total_events() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::uint64_t n = 0;
   for (const auto& r : rings_)
     if (r) n += r->written();
+  if (external_ring_) n += external_ring_->written();
   return n;
 }
 
@@ -118,31 +163,51 @@ std::uint64_t tracer::total_dropped() const {
   std::uint64_t n = 0;
   for (const auto& r : rings_)
     if (r) n += r->dropped();
+  if (external_ring_) n += external_ring_->dropped();
   return n;
 }
 
 void tracer::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   rings_.clear();
+  external_ring_.reset();
+  drop_warned_.store(false, std::memory_order_relaxed);
+}
+
+// Warns about ring wraparound at most once per process (clear() re-arms),
+// with a per-worker breakdown so the user can size GRAN_TRACE_BUF for the
+// busiest lane instead of the total. Caller holds mutex_.
+void tracer::warn_dropped_locked() const {
+  std::uint64_t dropped = 0;
+  for (const auto& r : rings_)
+    if (r) dropped += r->dropped();
+  const std::uint64_t ext = external_ring_ ? external_ring_->dropped() : 0;
+  dropped += ext;
+  if (dropped == 0) return;
+  if (drop_warned_.exchange(true, std::memory_order_relaxed)) return;
+  std::cerr << "[gran] trace export: " << dropped
+            << " events were overwritten by ring wraparound; raise "
+               "GRAN_TRACE_BUF for a complete trace (per worker:";
+  for (std::size_t w = 0; w < rings_.size(); ++w)
+    if (rings_[w] && rings_[w]->dropped() > 0)
+      std::cerr << " w" << w << "=" << rings_[w]->dropped();
+  if (ext > 0) std::cerr << " external=" << ext;
+  std::cerr << ")\n";
 }
 
 void tracer::write_chrome_json(std::ostream& os) const {
-  // Snapshot every lane (producers must be quiescent — see header).
+  // Snapshot every worker lane (producers must be quiescent — see header).
+  // The external lane holds only instant provenance records from non-worker
+  // threads, not spans; it is carried by dump()/write_binary but skipped in
+  // the Chrome view.
   std::vector<std::vector<trace_event>> lanes;
-  std::uint64_t dropped = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     lanes.reserve(rings_.size());
-    for (const auto& r : rings_) {
+    for (const auto& r : rings_)
       lanes.push_back(r ? r->snapshot() : std::vector<trace_event>{});
-      if (r) dropped += r->dropped();
-    }
+    warn_dropped_locked();
   }
-
-  if (dropped > 0)
-    std::cerr << "[gran] trace export: " << dropped
-              << " events were overwritten by ring wraparound; raise "
-                 "GRAN_TRACE_BUF for a complete trace\n";
 
   std::uint64_t base = ~std::uint64_t{0};
   for (const auto& lane : lanes)
@@ -267,6 +332,11 @@ void tracer::write_chrome_json(std::ostream& os) const {
              << ",\"cat\":\"sched\",\"name\":\"pin-rejected\",\"args\":{\"cpu\":"
              << e.arg << "}}";
           break;
+        case trace_kind::task_enqueue:
+        case trace_kind::graph_node:
+          // Provenance records for the offline analyzer; rendering them as
+          // instants would drown the Perfetto view at one per task.
+          break;
       }
     }
     if (task.valid) emit_slice(task, std::max(task.ticks, lane_last), "task", "task", "open");
@@ -284,6 +354,149 @@ bool tracer::export_chrome_json(const std::string& path) const {
   }
   write_chrome_json(f);
   return static_cast<bool>(f);
+}
+
+trace_dump tracer::dump_locked() const {
+  trace_dump out;
+  out.ns_per_tick = tsc_clock::ns_per_tick();
+
+  // Intern every distinct name pointer into an owned string table and
+  // repoint the copied events at it, so the dump survives the originating
+  // call sites (and round-trips through the binary format unchanged).
+  auto names = std::make_shared<std::vector<std::string>>();
+  std::unordered_map<const char*, std::size_t> index;
+  const auto intern = [&](const char* s) -> const char* {
+    if (s == nullptr) return nullptr;
+    auto [it, fresh] = index.emplace(s, names->size());
+    if (fresh) names->push_back(s);
+    return nullptr;  // placeholder; repointed below once the table is stable
+  };
+
+  const auto add_lane = [&](std::uint16_t worker, const trace_ring& r) {
+    trace_lane lane;
+    lane.worker = worker;
+    lane.dropped = r.dropped();
+    lane.events = r.snapshot();
+    for (auto& e : lane.events) intern(e.name);
+    out.lanes.push_back(std::move(lane));
+  };
+
+  for (std::size_t w = 0; w < rings_.size(); ++w)
+    if (rings_[w]) add_lane(static_cast<std::uint16_t>(w), *rings_[w]);
+  if (external_ring_) add_lane(external_worker, *external_ring_);
+
+  // The table no longer grows: repoint events into it.
+  for (auto& lane : out.lanes)
+    for (auto& e : lane.events)
+      if (e.name != nullptr) e.name = (*names)[index.at(e.name)].c_str();
+  out.names = std::move(names);
+  return out;
+}
+
+trace_dump tracer::dump() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dump_locked();
+}
+
+void tracer::write_binary(std::ostream& os) const {
+  trace_dump d;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    d = dump_locked();
+    warn_dropped_locked();
+  }
+
+  // Map interned name pointers back to table indices for serialization.
+  std::unordered_map<const char*, std::uint32_t> index;
+  for (std::uint32_t i = 0; i < d.names->size(); ++i)
+    index.emplace((*d.names)[i].c_str(), i);
+
+  os.write(binary_magic, sizeof binary_magic);
+  put_raw(os, binary_version);
+  put_raw(os, static_cast<std::uint32_t>(d.lanes.size()));
+  put_raw(os, static_cast<std::uint32_t>(d.names->size()));
+  put_raw(os, d.ns_per_tick);
+  for (const auto& s : *d.names) {
+    put_raw(os, static_cast<std::uint32_t>(s.size()));
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+  }
+  for (const auto& lane : d.lanes) {
+    put_raw(os, lane.worker);
+    put_raw(os, lane.dropped);
+    put_raw(os, static_cast<std::uint64_t>(lane.events.size()));
+    for (const auto& e : lane.events) {
+      put_raw(os, e.ticks);
+      put_raw(os, e.arg);
+      put_raw(os, e.name ? index.at(e.name) : no_name);
+      put_raw(os, static_cast<std::uint16_t>(e.kind));
+      put_raw(os, e.worker);
+      put_raw(os, e.arg2);
+    }
+  }
+}
+
+bool tracer::export_binary(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) {
+    std::cerr << "[gran] trace export: cannot open " << path << "\n";
+    return false;
+  }
+  write_binary(f);
+  return static_cast<bool>(f);
+}
+
+bool load_trace_binary(std::istream& is, trace_dump& out) {
+  char magic[sizeof binary_magic];
+  is.read(magic, sizeof magic);
+  if (!is || std::memcmp(magic, binary_magic, sizeof magic) != 0) return false;
+  std::uint32_t version = 0, num_lanes = 0, num_names = 0;
+  trace_dump d;
+  if (!get_raw(is, version) || version != binary_version) return false;
+  if (!get_raw(is, num_lanes) || num_lanes > max_load_lanes) return false;
+  if (!get_raw(is, num_names) || num_names > max_load_names) return false;
+  if (!get_raw(is, d.ns_per_tick) || !(d.ns_per_tick > 0)) return false;
+
+  auto names = std::make_shared<std::vector<std::string>>();
+  names->reserve(num_names);
+  for (std::uint32_t i = 0; i < num_names; ++i) {
+    std::uint32_t len = 0;
+    if (!get_raw(is, len) || len > (1u << 20)) return false;
+    std::string s(len, '\0');
+    is.read(s.data(), len);
+    if (!is) return false;
+    names->push_back(std::move(s));
+  }
+
+  d.lanes.reserve(num_lanes);
+  for (std::uint32_t l = 0; l < num_lanes; ++l) {
+    trace_lane lane;
+    std::uint64_t count = 0;
+    if (!get_raw(is, lane.worker) || !get_raw(is, lane.dropped)) return false;
+    if (!get_raw(is, count) || count > max_load_events) return false;
+    lane.events.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      trace_event e;
+      std::uint32_t name_idx = no_name;
+      std::uint16_t kind = 0;
+      if (!get_raw(is, e.ticks) || !get_raw(is, e.arg) || !get_raw(is, name_idx) ||
+          !get_raw(is, kind) || !get_raw(is, e.worker) || !get_raw(is, e.arg2))
+        return false;
+      if (name_idx != no_name && name_idx >= names->size()) return false;
+      e.kind = static_cast<trace_kind>(kind);
+      e.name = name_idx == no_name ? nullptr : (*names)[name_idx].c_str();
+      lane.events.push_back(e);
+    }
+    d.lanes.push_back(std::move(lane));
+  }
+  d.names = std::move(names);
+  out = std::move(d);
+  return true;
+}
+
+bool load_trace_binary(const std::string& path, trace_dump& out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  return load_trace_binary(f, out);
 }
 
 }  // namespace gran::perf

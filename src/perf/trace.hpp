@@ -43,7 +43,19 @@ enum class trace_kind : std::uint16_t {
   unpark = 6,        // worker resumes from the idle cv
   pending_miss = 7,  // scheduler round found no work (first miss after work)
   pin_rejected = 8,  // kernel refused the worker's CPU pin   arg=target cpu
+  task_enqueue = 9,  // a new task was spawned             arg=child task id,
+                     //   arg2 = spawning worker (external_worker when spawned
+                     //   from a non-worker thread); the event's timestamp is
+                     //   the spawn time, feeding spawn->first-run wait
+                     //   attribution (perf/analysis.hpp)
+  graph_node = 10,   // graph-node provenance: the running task is DAG node
+                     //   (step, point)                    arg=task id,
+                     //   arg2 = pack_graph_node(step, point)
 };
+
+// Worker index recorded for events emitted by non-worker threads (the
+// external task_enqueue lane).
+inline constexpr std::uint16_t external_worker = 0xffff;
 
 // Packs a steal event's arg2: victim worker in the low 16 bits, topology
 // distance (0 SMT / 1 same-domain / 2 remote) above them.
@@ -51,6 +63,17 @@ inline std::uint32_t steal_arg2(int victim, int distance) noexcept {
   return (static_cast<std::uint32_t>(victim) & 0xffffu) |
          (static_cast<std::uint32_t>(distance) << 16);
 }
+
+// Packs a graph_node event's arg2: point in the low 16 bits, step above
+// them. Coordinates beyond 65534 saturate to 0xffff ("unknown") rather than
+// alias — graph sweeps at paper scales stay far below that.
+inline std::uint32_t pack_graph_node(std::uint64_t step, std::uint64_t point) noexcept {
+  const std::uint32_t s = step >= 0xffffu ? 0xffffu : static_cast<std::uint32_t>(step);
+  const std::uint32_t p = point >= 0xffffu ? 0xffffu : static_cast<std::uint32_t>(point);
+  return p | (s << 16);
+}
+inline std::uint32_t graph_node_step(std::uint32_t arg2) noexcept { return arg2 >> 16; }
+inline std::uint32_t graph_node_point(std::uint32_t arg2) noexcept { return arg2 & 0xffffu; }
 
 // One binary trace record. `name` points to the task's description — a
 // string with static storage duration in every runtime call site (task
@@ -100,6 +123,39 @@ class trace_ring {
   alignas(cache_line_size) std::atomic<std::uint64_t> seq_{0};
 };
 
+// Everything a trace session retained, decoupled from the live rings: one
+// lane per worker (oldest-first events) plus one external lane for events
+// emitted by non-worker threads. Event `name` pointers point into `*names`
+// (shared so copies/moves of the dump never dangle), making a dump loaded
+// from disk indistinguishable from one captured in-process — the analyzer
+// (perf/analysis.hpp) consumes only this type.
+struct trace_lane {
+  std::uint16_t worker = 0;  // lane index, or external_worker
+  std::uint64_t dropped = 0; // events lost to ring wraparound before capture
+  std::vector<trace_event> events;  // oldest first
+};
+struct trace_dump {
+  std::vector<trace_lane> lanes;
+  double ns_per_tick = 1.0;  // tsc->ns scale of the capturing host
+  std::shared_ptr<const std::vector<std::string>> names;  // interned strings
+
+  std::uint64_t total_events() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& l : lanes) n += l.events.size();
+    return n;
+  }
+  std::uint64_t total_dropped() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& l : lanes) n += l.dropped;
+    return n;
+  }
+};
+
+// Reads a dump written by tracer::write_binary (the "GRANTRC1" format).
+// Returns false and leaves `out` untouched on malformed input.
+bool load_trace_binary(std::istream& is, trace_dump& out);
+bool load_trace_binary(const std::string& path, trace_dump& out);
+
 // Process-global trace session: owns one ring per worker index and the
 // exporter. Rings outlive any single thread_manager (sequential managers
 // reuse worker indices and append to the same lanes), mirroring the
@@ -134,26 +190,52 @@ class tracer {
   // Ring for one worker lane, created on first use. nullptr when disabled.
   trace_ring* ring(int worker);
 
+  // Records an event from a non-worker thread (e.g. task_enqueue during
+  // graph construction on the main thread) into a dedicated external lane.
+  // Unlike worker rings this lane has many producers, so emission is
+  // serialized by a mutex — acceptable because external spawns are a cold
+  // setup-time path, never the scheduler inner loop.
+  void emit_external(trace_kind kind, std::uint64_t arg = 0,
+                     std::uint32_t arg2 = 0, const char* name = nullptr);
+
   std::uint64_t total_events() const;   // written across all rings
   std::uint64_t total_dropped() const;  // overwritten across all rings
 
   // Chrome trace_event JSON of everything currently retained. Valid only
   // while producers are quiescent (after thread_manager::stop()/join, or
   // from tests). Returns false when the file cannot be opened. Prints a
-  // one-line warning to stderr when events were dropped.
+  // once-per-process warning to stderr (with a per-worker breakdown) when
+  // events were dropped.
   void write_chrome_json(std::ostream& os) const;
   bool export_chrome_json(const std::string& path) const;
 
-  // Drops all recorded events and rings (tests).
+  // Copies everything currently retained into a self-contained trace_dump
+  // (event names interned into an owned string table). Same quiescence
+  // requirement as write_chrome_json.
+  trace_dump dump() const;
+
+  // Binary export of dump() — the "GRANTRC1" format load_trace_binary
+  // reads. Carries ns_per_tick so a dump analyzes identically off-host.
+  void write_binary(std::ostream& os) const;
+  bool export_binary(const std::string& path) const;
+
+  // Drops all recorded events and rings (tests). Invalidates every ring
+  // pointer previously returned — callers must not hold cached pointers
+  // (i.e. no live thread_manager) across a clear().
   void clear();
 
  private:
   tracer() = default;
+  trace_dump dump_locked() const;  // caller holds mutex_
+  void warn_dropped_locked() const;
 
   static std::atomic<bool> enabled_;
 
   mutable std::mutex mutex_;  // guards rings_ growth and configuration
   std::vector<std::unique_ptr<trace_ring>> rings_;
+  std::unique_ptr<trace_ring> external_ring_;  // lane for non-worker threads
+  std::mutex external_mutex_;                  // serializes external producers
+  mutable std::atomic<bool> drop_warned_{false};
   std::size_t ring_capacity_ = 0;  // 0 = default
   std::string export_path_;
   bool env_checked_ = false;

@@ -120,6 +120,9 @@ std::uint64_t thread_manager::spawn(task::body_fn body, task_priority priority,
   const std::uint64_t id = t->id();
   tasks_alive_.fetch_add(1, std::memory_order_acq_rel);
   const int home = tl_manager == this ? tl_worker : -1;
+  // Provenance is recorded before the enqueue so the spawn timestamp can
+  // never trail the child's first task_begin.
+  record_spawn(home, id);
   policy_->enqueue_new(*this, home, t);
   notify_work();
   return id;
@@ -136,9 +139,26 @@ std::uint64_t thread_manager::spawn_on(int worker_hint, task::body_fn body,
   t->set_owner(this);
   const std::uint64_t id = t->id();
   tasks_alive_.fetch_add(1, std::memory_order_acq_rel);
+  // The spawner (for provenance) is the calling worker, not the hint's
+  // target — the hint only picks the child's home queue.
+  record_spawn(tl_manager == this ? tl_worker : -1, id);
   policy_->enqueue_hinted(*this, worker_hint, t);
   notify_work();
   return id;
+}
+
+void thread_manager::record_spawn(int spawner, std::uint64_t id) noexcept {
+  if (spawner >= 0) {
+    worker_data& wd = worker(spawner);
+    wd.counters.tasks_spawned.fetch_add(1, std::memory_order_relaxed);
+    perf::trace_emit(wd.trace, perf::trace_kind::task_enqueue, spawner, id,
+                     static_cast<std::uint32_t>(spawner));
+  } else {
+    external_spawns_.fetch_add(1, std::memory_order_relaxed);
+    if (perf::tracer::enabled())
+      perf::tracer::instance().emit_external(perf::trace_kind::task_enqueue, id,
+                                             perf::external_worker);
+  }
 }
 
 int thread_manager::steal_distance(int thief, int victim) const noexcept {
@@ -404,6 +424,7 @@ thread_manager::totals thread_manager::counter_totals() const {
     sum.tasks_stolen_remote +=
         c.tasks_stolen_remote.load(std::memory_order_relaxed);
     sum.tasks_converted += c.tasks_converted.load(std::memory_order_relaxed);
+    sum.tasks_spawned += c.tasks_spawned.load(std::memory_order_relaxed);
 
     const queue_access_counts q = wd->queue.counts();
     const queue_access_counts h = wd->high_queue.counts();
@@ -420,6 +441,7 @@ thread_manager::totals thread_manager::counter_totals() const {
   sum.queues.pending_misses += low.pending_misses;
   sum.queues.staged_accesses += low.staged_accesses;
   sum.queues.staged_misses += low.staged_misses;
+  sum.tasks_spawned += external_spawns_.load(std::memory_order_relaxed);
 
   sum.exec_ns = static_cast<std::uint64_t>(static_cast<double>(exec_ticks) * ns_per_tick);
   sum.func_ns = static_cast<std::uint64_t>(static_cast<double>(func_ticks) * ns_per_tick);
@@ -436,6 +458,7 @@ void thread_manager::reset_counters() {
     wd->last_phase_end_ticks.store(0, std::memory_order_relaxed);
   }
   low_queue_.reset_counts();
+  external_spawns_.store(0, std::memory_order_relaxed);
 }
 
 void thread_manager::register_counters() {
@@ -537,6 +560,10 @@ void thread_manager::register_counters() {
   reg.add("/threads/count/converted", counter_kind::monotonic,
           "staged->pending conversions",
           [tot] { return static_cast<double>(tot().tasks_converted); });
+  reg.add("/threads/count/spawned", counter_kind::monotonic,
+          "tasks created via spawn/spawn_on (worker + external threads); "
+          "cross-checks the trace's task_enqueue event count",
+          [tot] { return static_cast<double>(tot().tasks_spawned); });
   reg.add("/threads/count/instantaneous/alive", counter_kind::gauge,
           "tasks spawned and not yet terminated",
           [this] { return static_cast<double>(tasks_alive()); });

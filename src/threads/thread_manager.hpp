@@ -141,6 +141,7 @@ class thread_manager {
     std::uint64_t tasks_stolen = 0;
     std::uint64_t tasks_stolen_remote = 0;  // subset of stolen: cross-domain
     std::uint64_t tasks_converted = 0;
+    std::uint64_t tasks_spawned = 0;  // spawn/spawn_on calls, incl. external
     queue_access_counts queues;  // summed over every dual queue
   };
   totals counter_totals() const;
@@ -162,6 +163,11 @@ class thread_manager {
   // Runs one thread-phase of `t` on worker `w`; handles termination,
   // yield re-queueing, and suspension finalization.
   void run_phase(int w, task* t);
+
+  // Spawn bookkeeping shared by spawn/spawn_on: bumps the spawned counter
+  // and emits the task_enqueue provenance event. `spawner` is the calling
+  // worker's index, or -1 for a non-worker thread (external lane).
+  void record_spawn(int spawner, std::uint64_t id) noexcept;
 
   // --- event-based idle parking ------------------------------------------
   // Starved workers park on a condition variable; every enqueue signals it.
@@ -190,6 +196,8 @@ class thread_manager {
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> tasks_alive_{0};
   std::atomic<std::uint64_t> next_home_{0};  // round-robin for external spawns
+  // Spawns from non-worker threads (worker spawns use the per-worker cell).
+  std::atomic<std::uint64_t> external_spawns_{0};
 
   alignas(cache_line_size) std::atomic<int> sleepers_{0};
   std::mutex park_mutex_;

@@ -31,6 +31,11 @@ struct worker_counters {
   // stolen-local + stolen-remote == stolen holds by construction.
   std::atomic<std::uint64_t> tasks_stolen_remote{0};
   std::atomic<std::uint64_t> tasks_converted{0};   // staged -> pending transforms
+  // Tasks this worker spawned (spawn/spawn_on called from its thread); spawns
+  // from non-worker threads are counted by the manager's external cell. The
+  // sum backs /threads/count/spawned and cross-checks the trace's
+  // task_enqueue event count.
+  std::atomic<std::uint64_t> tasks_spawned{0};
   // Queue-probe counts for policies that bypass the instrumented dual_queue
   // (work-stealing-lifo keeps its own deques); zero otherwise.
   std::atomic<std::uint64_t> extra_pending_accesses{0};
@@ -44,6 +49,7 @@ struct worker_counters {
     tasks_stolen.store(0, std::memory_order_relaxed);
     tasks_stolen_remote.store(0, std::memory_order_relaxed);
     tasks_converted.store(0, std::memory_order_relaxed);
+    tasks_spawned.store(0, std::memory_order_relaxed);
     extra_pending_accesses.store(0, std::memory_order_relaxed);
     extra_pending_misses.store(0, std::memory_order_relaxed);
   }
