@@ -54,6 +54,18 @@ GRAN_PIN=compact ./build/bench/ablation_topology --quick --workers=2 >/dev/null
 GRAN_PIN=scatter ./build/bench/ablation_topology --quick --workers=2 >/dev/null
 echo "topology smoke: quick + GRAN_PIN={compact,scatter} ok"
 
+echo "=== ci: lazy-split smoke ==="
+# A quick Fig. 3-style grain sweep with the closed-loop splitter in the ring,
+# native and simulated. No throughput gate at CI sizes (the full gated run is
+# scripts/bench_adaptive_baseline.sh); this catches wiring regressions —
+# lazy_chunk must run to completion in both modes and the sim must split.
+./build/bench/ablation_adaptive --items=100000 --samples=1 --mode=native \
+    >/dev/null
+./build/bench/ablation_adaptive --items=100000 --samples=1 --mode=sim \
+    | grep -q 'sim/busy_spin' \
+  || { echo "lazy-split smoke: sim leg missing" >&2; exit 1; }
+echo "lazy-split smoke: native + sim ok"
+
 echo "=== ci: tsan ==="
 scripts/tsan_check.sh
 

@@ -83,6 +83,7 @@ adaptive_run_report adaptive_chunked_for_each(
   };
 
   stopwatch clock;
+  wave_probe probe;
   std::size_t next = 0;
   while (next < n) {
     const std::size_t wave_end = std::min(n, next + wave_items());
@@ -91,19 +92,26 @@ adaptive_run_report adaptive_chunked_for_each(
 
     const auto before = tm.counter_totals();
 
+    // The wave's idle-rate interval closes inside the last finishing task
+    // (wave_probe), not after the caller's done.wait() returns — the join
+    // tail would otherwise count as idle time and bias the tuner toward
+    // "too fine" on short waves.
+    probe.arm(num_tasks);
     latch done(static_cast<std::int64_t>(num_tasks));
     for (std::size_t first = next; first < wave_end; first += chunk) {
       const std::size_t last = std::min(wave_end, first + chunk);
       tm.spawn(
-          [&fn, &done, first, last] {
+          [&fn, &done, &probe, &tm, first, last] {
             fn(first, last);
+            probe.task_done(tm);
             done.count_down();
           },
           task_priority::normal, "adaptive-chunk");
     }
     done.wait();
 
-    const auto after = tm.counter_totals();
+    const auto after = probe.end_or(tm.counter_totals());
+    if (probe.clean()) ++report.clean_wave_snapshots;
     const double func = static_cast<double>(after.func_ns - before.func_ns);
     const double exec = static_cast<double>(after.exec_ns - before.exec_ns);
     const double idle_rate = func > 0.0 ? std::max(0.0, func - exec) / func : 0.0;

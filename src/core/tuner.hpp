@@ -24,6 +24,50 @@
 
 namespace gran::core {
 
+// Wave-boundary counter probe — fixes the adaptive controller's staleness
+// bias. The controller's interval used to be [before caller spawns, after
+// caller wakes from the join]: that window includes the join tail (the last
+// task's count_down racing the caller's wakeup, plus every worker spinning
+// down while the caller is still parked), which inflates the measured
+// idle-rate. On short waves the tail dominates, the controller diagnoses
+// "tasks too fine" and grows the chunk it should have held. The probe closes
+// the window at the instant the wave's *last finishing task* completes: each
+// task calls task_done() just before its count_down, and the one that
+// brings the count to zero snapshots the live counters from inside the
+// worker — before the join tail exists.
+class wave_probe {
+ public:
+  // Arms the probe for a wave of `tasks` tasks (re-armable between waves).
+  void arm(std::size_t tasks) noexcept {
+    ready_.store(false, std::memory_order_relaxed);
+    remaining_.store(tasks, std::memory_order_release);
+  }
+
+  // Called by each task right before it signals the wave's latch; the last
+  // caller stores the wave-end counter snapshot.
+  void task_done(thread_manager& tm) noexcept {
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      end_ = tm.counter_totals();
+      ready_.store(true, std::memory_order_release);
+    }
+  }
+
+  // True once the last task stored its snapshot (always, barring a task that
+  // skipped task_done).
+  bool clean() const noexcept { return ready_.load(std::memory_order_acquire); }
+
+  // The wave-end snapshot, or `fallback` (a caller-side reading, join tail
+  // included) when none was stored.
+  thread_manager::totals end_or(const thread_manager::totals& fallback) const noexcept {
+    return clean() ? end_ : fallback;
+  }
+
+ private:
+  std::atomic<std::size_t> remaining_{0};
+  std::atomic<bool> ready_{false};
+  thread_manager::totals end_{};
+};
+
 struct tuner_options {
   double high_water = 0.30;   // paper §IV-A's workable threshold
   double low_water = 0.05;
@@ -75,6 +119,10 @@ class grain_tuner {
 struct adaptive_run_report {
   std::size_t final_chunk = 0;
   std::size_t waves = 0;
+  // Waves whose idle-rate interval was closed by the wave_probe (snapshot
+  // taken inside the last finishing task, join tail excluded). Equal to
+  // `waves` in a healthy run; tests assert it.
+  std::size_t clean_wave_snapshots = 0;
   double elapsed_s = 0.0;
   std::vector<grain_tuner::decision> decisions;
 };

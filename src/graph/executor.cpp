@@ -1,5 +1,9 @@
 #include "graph/executor.hpp"
 
+#include <atomic>
+
+#include "algo/splittable.hpp"
+#include "core/split_controller.hpp"
 #include "graph/futurize.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
@@ -22,14 +26,35 @@ run_stats run_graph(thread_manager& tm, const graph_spec& g,
                               ? placement::numa_block
                               : placement::spawn_local;
 
+  // Splittable kernels (split_units > 1) share one controller across every
+  // node of the run: the node's task executes its units inline and gives
+  // away trailing units only when the controller reports demand. The
+  // additive unit checksum makes the node's value independent of how (or
+  // whether) it was split, so split and unsplit runs stay bit-identical.
+  core::split_controller ctl;
+
   stopwatch clock;
   auto dag = futurize_dag<std::uint64_t>(
       tm, g,
-      [&k](std::uint32_t t, std::uint32_t p,
-           const std::vector<future<std::uint64_t>>& in) {
+      [&k, &ctl, &tm](std::uint32_t t, std::uint32_t p,
+                      const std::vector<future<std::uint64_t>>& in) {
         std::uint64_t acc = mix64_combine(t, p);
         for (const auto& f : in) acc = mix64_combine(acc, f.get());
-        return mix64_combine(acc, run_kernel(k, t, p));
+        std::uint64_t kbits;
+        if (k.split_units > 1) {
+          std::atomic<std::uint64_t> sum{0};
+          algo::splittable_run_inline(
+              tm, ctl, 0, k.split_units, [&](std::size_t u) {
+                sum.fetch_add(
+                    run_kernel_units(k, t, p, static_cast<std::uint32_t>(u),
+                                     static_cast<std::uint32_t>(u + 1)),
+                    std::memory_order_relaxed);
+              });
+          kbits = sum.load(std::memory_order_relaxed);
+        } else {
+          kbits = run_kernel(k, t, p);
+        }
+        return mix64_combine(acc, kbits);
       },
       window, task_priority::normal, place);
 

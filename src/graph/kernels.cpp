@@ -121,11 +121,12 @@ const kernel_rates& calibrated_rates() {
   return rates;
 }
 
-std::uint64_t run_kernel(const kernel_spec& k, std::uint32_t step,
-                         std::uint32_t point) {
-  const double target_ns = std::max(0.0, task_grain_ns(k, step, point));
+namespace {
+
+// One calibrated work slice of `target_ns` on the calling thread.
+std::uint64_t run_slice(kernel_kind kind, double target_ns) {
   const kernel_rates& r = calibrated_rates();
-  switch (k.kind) {
+  switch (kind) {
     case kernel_kind::busy_spin:
       return spin_loop(static_cast<long>(target_ns * r.spin_iters_per_ns));
     case kernel_kind::memory_stream:
@@ -139,6 +140,33 @@ std::uint64_t run_kernel(const kernel_spec& k, std::uint32_t step,
                                k_dgemm_block_flops)));
   }
   return 0;
+}
+
+}  // namespace
+
+std::uint64_t run_kernel(const kernel_spec& k, std::uint32_t step,
+                         std::uint32_t point) {
+  const double target_ns = std::max(0.0, task_grain_ns(k, step, point));
+  return run_slice(k.kind, target_ns);
+}
+
+std::uint64_t run_kernel_units(const kernel_spec& k, std::uint32_t step,
+                               std::uint32_t point, std::uint32_t unit_lo,
+                               std::uint32_t unit_hi) {
+  const std::uint32_t units = std::max<std::uint32_t>(1, k.split_units);
+  const double target_ns = std::max(0.0, task_grain_ns(k, step, point));
+  const double unit_ns = target_ns / static_cast<double>(units);
+  const std::uint64_t node_key =
+      mix64_combine(mix64_combine(k.seed, step), point);
+  std::uint64_t acc = 0;
+  for (std::uint32_t u = unit_lo; u < unit_hi; ++u) {
+    const std::uint64_t bits = run_slice(k.kind, unit_ns);
+    // Wrapping add commutes: the node checksum is invariant under any
+    // partition of its units across split-off tasks. Each term still folds
+    // the slice's computed bits so the work cannot be dead-code-eliminated.
+    acc += mix64_combine(mix64_combine(node_key, u), bits);
+  }
+  return acc;
 }
 
 }  // namespace gran::graph

@@ -33,6 +33,11 @@ struct kernel_spec {
   // u deterministic in [-1, 1) from (seed, t, p). 0 = homogeneous tasks.
   double imbalance = 0.0;
   std::uint64_t seed = 1;
+  // > 1 declares the kernel *splittable*: the task's work divides into this
+  // many equal-cost units, and the executor may run a node coarse and give
+  // away trailing units on demand (run_kernel_units + algo/splittable.hpp).
+  // 1 = monolithic (run_kernel), the default.
+  std::uint32_t split_units = 1;
 };
 
 // Deterministic target duration of task (step, point) — the imbalance dial
@@ -52,6 +57,16 @@ inline double task_grain_ns(const kernel_spec& k, std::uint32_t step,
 // thread-safe.
 std::uint64_t run_kernel(const kernel_spec& k, std::uint32_t step,
                          std::uint32_t point);
+
+// Executes units [unit_lo, unit_hi) of task (step, point)'s work: the
+// task's target duration divided into k.split_units equal-cost slices.
+// Returns an *additive* (order-independent) checksum contribution, so any
+// partition of [0, split_units) — however the lazy splitter carved it —
+// sums to the same per-node checksum as one unsplit pass. Requires
+// unit_hi <= k.split_units.
+std::uint64_t run_kernel_units(const kernel_spec& k, std::uint32_t step,
+                               std::uint32_t point, std::uint32_t unit_lo,
+                               std::uint32_t unit_hi);
 
 // Measured calibration rates of this host (exposed for tests/benches).
 struct kernel_rates {

@@ -40,6 +40,8 @@ struct task_state {
   bool has_graph = false;
   std::uint32_t graph_step = 0;
   std::uint32_t graph_point = 0;
+  bool split_child = false;        // spawned as the back half of a split
+  std::uint64_t split_point = 0;   // first index of the inherited range
   // Critical-path DP state.
   bool has_parent = false;
   std::uint64_t parent_id = 0;
@@ -64,6 +66,14 @@ struct worker_state {
   bool open = false;  // a phase is running
   std::uint64_t open_begin = 0;
   std::uint64_t open_task = 0;
+  // A task_split was seen and its child's task_enqueue has not arrived yet.
+  // The runner emits the pair back-to-back on the parent's lane
+  // (thread_manager::record_split immediately precedes the spawn), so the
+  // next enqueue on this lane is the split child.
+  bool split_pending = false;
+  std::uint64_t split_parent = 0;
+  std::uint64_t split_point = 0;
+  std::uint64_t splits = 0;
   std::vector<phase_interval> done;  // closed phases, naturally begin-sorted
 };
 
@@ -220,7 +230,24 @@ analysis_result analyze_trace(const trace_dump& dump, const analysis_options& op
           t.enqueue_ticks = e.ticks;
           t.spawn_worker = static_cast<std::uint16_t>(e.arg2);
         }
+        if (w.split_pending) {
+          // Direct provenance: the task_split event names the parent, so the
+          // edge does not depend on the parent's phase events surviving ring
+          // wraparound.
+          t.split_child = true;
+          t.split_point = w.split_point;
+          t.has_parent = true;
+          t.parent_id = w.split_parent;
+          w.split_pending = false;
+        }
         ++w.spawned;
+        break;
+      }
+      case trace_kind::task_split: {
+        w.split_pending = true;
+        w.split_parent = e.arg;
+        w.split_point = e.arg2;
+        ++w.splits;
         break;
       }
       case trace_kind::steal: {
@@ -272,6 +299,7 @@ analysis_result analyze_trace(const trace_dump& dump, const analysis_options& op
     wt.tasks_completed = w.completed;
     wt.tasks_spawned = w.spawned;
     wt.steals = w.steals;
+    wt.splits = w.splits;
     wt.dropped = w.dropped;
     r.func_ns += wt.span_ns;
     r.exec_ns += wt.busy_ns;
@@ -291,6 +319,7 @@ analysis_result analyze_trace(const trace_dump& dump, const analysis_options& op
   // fire from the worker that completed the last input, so this recovers
   // the DAG edge that actually gated the spawn.
   for (auto& t : tasks) {
+    if (t.split_child) continue;  // already bound by its task_split event
     if (!t.has_enqueue || t.spawn_worker == external_worker) continue;
     const auto it = ws.find(t.spawn_worker);
     if (it == ws.end()) continue;
@@ -451,6 +480,9 @@ analysis_result analyze_trace(const trace_dump& dump, const analysis_options& op
     out.phases = static_cast<int>(t.phases.size());
     out.has_parent = t.has_parent;
     out.parent_id = t.parent_id;
+    out.split_child = t.split_child;
+    out.split_point = t.split_point;
+    if (t.split_child) ++r.tasks_from_splits;
     out.has_graph_node = t.has_graph;
     out.graph_step = t.graph_step;
     out.graph_point = t.graph_point;

@@ -60,6 +60,10 @@ struct task_record {
   double steal_latency_ns = 0;         // steal -> first begin (0 if not stolen)
   bool has_parent = false;             // provenance resolved to a spawner task
   std::uint64_t parent_id = 0;
+  bool split_child = false;            // spawned as a lazy split's back half;
+                                       // parent_id comes from the task_split
+                                       // event, not phase coverage
+  std::uint64_t split_point = 0;       // first index of the inherited range
   bool has_graph_node = false;         // graph_node provenance was retained
   std::uint32_t graph_step = 0;
   std::uint32_t graph_point = 0;
@@ -75,6 +79,7 @@ struct worker_timeline {
   std::uint64_t tasks_completed = 0;
   std::uint64_t tasks_spawned = 0;  // task_enqueue events on this lane
   std::uint64_t steals = 0;
+  std::uint64_t splits = 0;   // task_split events on this lane
   std::uint64_t dropped = 0;  // ring-wraparound losses on this lane
 };
 
@@ -94,6 +99,7 @@ struct analysis_result {
   // Eq. 1–3 recomputed from events alone (func := Σ per-worker lane spans,
   // exec := Σ phase slices, nt := completed tasks).
   std::uint64_t tasks_completed = 0;
+  std::uint64_t tasks_from_splits = 0;  // tasks bound to a parent via task_split
   double exec_ns = 0;
   double func_ns = 0;
   double idle_rate = 0;      // Eq. 1: (func - exec) / func

@@ -332,6 +332,15 @@ void tracer::write_chrome_json(std::ostream& os) const {
              << ",\"cat\":\"sched\",\"name\":\"pin-rejected\",\"args\":{\"cpu\":"
              << e.arg << "}}";
           break;
+        case trace_kind::task_split:
+          // Rare (demand-driven) and informative: render as an instant with
+          // the parent id and split point.
+          sep();
+          os << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" << w
+             << ",\"ts\":" << ts_us(e.ticks)
+             << ",\"cat\":\"sched\",\"name\":\"task-split\",\"args\":{\"parent\":"
+             << e.arg << ",\"point\":" << e.arg2 << "}}";
+          break;
         case trace_kind::task_enqueue:
         case trace_kind::graph_node:
           // Provenance records for the offline analyzer; rendering them as

@@ -51,6 +51,13 @@ enum class trace_kind : std::uint16_t {
   graph_node = 10,   // graph-node provenance: the running task is DAG node
                      //   (step, point)                    arg=task id,
                      //   arg2 = pack_graph_node(step, point)
+  task_split = 11,   // the running task gave away the back half of its range
+                     //   (lazy splitting, algo/splittable.hpp)
+                     //   arg = parent (splitting) task id,
+                     //   arg2 = split point (first index of the child's
+                     //   half, saturated to 32 bits); the next task_enqueue
+                     //   on the same lane is the child — the pairing the
+                     //   analyzer uses for split provenance
 };
 
 // Worker index recorded for events emitted by non-worker threads (the

@@ -41,6 +41,7 @@
 #include "core/metrics.hpp"
 #include "sim/des.hpp"
 #include "sim/machine_model.hpp"
+#include "sim/split_sim.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -547,6 +548,346 @@ class des_engine {
   std::uint64_t stolen_ = 0;
   std::uint64_t converted_ = 0;
   std::uint64_t edges_signaled_ = 0;
+  double exec_ns_total_ = 0.0;
+  time_ns makespan_ = 0;
+};
+
+// --- lazy splitting mirror ---------------------------------------------------
+//
+// Simulated counterpart of the native closed-loop splitting executor
+// (core/split_controller.hpp + algo/splittable.hpp), over the simplest
+// workload that exhibits the paper's granularity U-curve: `items` uniform
+// independent loop iterations on `cores` cores.
+//
+//   fixed mode (lazy = false): the loop is pre-chunked into items/chunk
+//     tasks, created serially by the main thread (one task_create_ns each —
+//     the native parallel_for spawn loop) and dealt round-robin. This is the
+//     Fig. 3 grain sweep's subject: per-task management costs wall off fine
+//     grains, tail imbalance walls off coarse ones.
+//   lazy mode: one coarse block per core; an idle core that finds no queued
+//     work picks the *running* task with the most remaining items and, when
+//     at least 2×min_chunk remain, takes the back half — paying the steal
+//     probe plus the full create/convert/switch path for the child, while
+//     the victim pays the spawn (task_create_ns) and finishes early. Demand
+//     with no splittable candidate counts as split-denied. This is the
+//     simulator's version of the native controller, with one idealization:
+//     demand here is exact (the sim knows precisely who is idle), whereas
+//     the native side approximates it with the starving-worker count and the
+//     sampled idle-rate gate between poll boundaries.
+//
+// Per-task imbalance (the `imbalance` dial, same convention as
+// graph::kernel_spec) scales each task's per-item cost deterministically so
+// lazy splitting has hot blocks to fix. The checksum is a wrapping sum of a
+// per-item hash — commutative, so any split layout (or the native executor)
+// over the same [0, items) range produces the same value.
+
+class lazy_split_engine {
+ public:
+  explicit lazy_split_engine(const split_sim_config& cfg)
+      : cfg_(cfg), num_cores_(std::max(1, cfg.cores)) {
+    // Same contention scaling as des_engine: shared-structure management
+    // costs grow with the core count.
+    const double scale =
+        1.0 + cfg_.model.contention_per_core * static_cast<double>(num_cores_ - 1);
+    create_ns_ = cfg_.model.task_create_ns * scale;
+    convert_ns_ = cfg_.model.task_convert_ns * scale;
+    queue_ns_ = cfg_.model.queue_op_ns * scale;
+    switch_ns_ = cfg_.model.task_switch_ns * scale;
+    steal_ns_ = cfg_.model.steal_probe_ns;
+    const int domains =
+        std::max(1, std::min(cfg_.model.spec.numa_domains, num_cores_));
+    cores_.resize(static_cast<std::size_t>(num_cores_));
+    for (int c = 0; c < num_cores_; ++c)
+      cores_[static_cast<std::size_t>(c)].numa = c * domains / num_cores_;
+  }
+
+  split_sim_result run() {
+    seed_tasks();
+    for (int c = 0; c < num_cores_; ++c) push_event(0, event_kind::wake, c);
+
+    while (!events_.empty()) {
+      const event ev = events_.top();
+      events_.pop();
+      switch (ev.kind) {
+        case event_kind::arrival:
+          on_arrival(ev);
+          break;
+        case event_kind::completion:
+          on_completion(ev);
+          break;
+        case event_kind::wake:
+          on_wake(ev);
+          break;
+      }
+    }
+    GRAN_ASSERT_MSG(items_executed_ == cfg_.items,
+                    "split sim lost or duplicated items");
+
+    split_sim_result r;
+    r.makespan_s = static_cast<double>(makespan_) * 1e-9;
+    r.tasks = tasks_done_;
+    r.splits = splits_;
+    r.split_denied = split_denied_;
+    r.steals = steals_;
+    r.items_executed = items_executed_;
+    r.checksum = checksum_;
+    r.exec_ns = exec_ns_total_;
+    r.func_ns = static_cast<double>(makespan_) * num_cores_;
+    r.idle_rate =
+        r.func_ns > 0.0 ? std::max(0.0, r.func_ns - r.exec_ns) / r.func_ns : 0.0;
+    return r;
+  }
+
+ private:
+  enum class event_kind : int { arrival = 0, completion = 1, wake = 2 };
+
+  struct event {
+    time_ns at = 0;
+    event_kind kind = event_kind::wake;
+    int core = 0;
+    std::uint64_t gen = 0;  // completion validity (bumped when a split
+                            // shortens the running range)
+    std::uint64_t lo = 0, hi = 0;  // arrival payload
+    // Work-producing events (arrivals, completions) beat wakes at the same
+    // instant, matching des_engine's tie-breaking.
+    bool operator>(const event& o) const {
+      if (at != o.at) return at > o.at;
+      return static_cast<int>(kind) > static_cast<int>(o.kind);
+    }
+  };
+
+  struct running_task {
+    bool active = false;
+    std::uint64_t lo = 0, hi = 0;
+    time_ns exec_start = 0;   // when item `lo` began executing
+    double item_ns = 0.0;     // this task's per-item cost (imbalance applied)
+    std::uint64_t gen = 0;
+  };
+
+  struct split_core_state {
+    time_ns now = 0;
+    int numa = 0;
+    std::deque<std::pair<std::uint64_t, std::uint64_t>> ready;
+    running_task run;
+  };
+
+  void push_event(time_ns at, event_kind kind, int core, std::uint64_t gen = 0,
+                  std::uint64_t lo = 0, std::uint64_t hi = 0) {
+    events_.push({at, kind, core, gen, lo, hi});
+  }
+
+  // Deterministic per-task item cost: task ordinal `ord` runs its items at
+  // item_ns * (1 + imbalance * u), u in [-1, 1). Split-off children inherit
+  // the parent's cost (they execute the same items).
+  double task_item_ns(std::uint64_t ord) const {
+    if (cfg_.imbalance == 0.0) return std::max(1e-3, cfg_.item_ns);
+    const double u = 2.0 * mix64_to_unit(mix64(cfg_.seed ^ (ord * 0x9e37u))) - 1.0;
+    return std::max(1e-3, cfg_.item_ns * (1.0 + cfg_.imbalance * u));
+  }
+
+  // The main thread spawns every initial task serially — chunk k exists
+  // only after k+1 create costs, the native parallel_for spawn loop's
+  // supply cap at fine grains.
+  void seed_tasks() {
+    const std::uint64_t n = cfg_.items;
+    if (n == 0) return;
+    std::uint64_t blocks;
+    std::uint64_t chunk;
+    if (cfg_.lazy) {
+      blocks = cfg_.initial_tasks != 0
+                   ? cfg_.initial_tasks
+                   : static_cast<std::uint64_t>(num_cores_);
+      blocks = std::max<std::uint64_t>(1, std::min(blocks, n));
+      chunk = 0;  // even block distribution below
+    } else {
+      chunk = cfg_.chunk != 0 ? cfg_.chunk
+                              : std::max<std::uint64_t>(
+                                    1, n / static_cast<std::uint64_t>(num_cores_));
+      blocks = (n + chunk - 1) / chunk;
+    }
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      const std::uint64_t lo = cfg_.lazy ? n * b / blocks : b * chunk;
+      const std::uint64_t hi = cfg_.lazy ? n * (b + 1) / blocks
+                                         : std::min(n, lo + chunk);
+      if (lo >= hi) continue;
+      const auto at = static_cast<time_ns>(static_cast<double>(b + 1) * create_ns_);
+      push_event(at, event_kind::arrival,
+                 static_cast<int>(b % static_cast<std::uint64_t>(num_cores_)),
+                 /*gen=*/0, lo, hi);
+    }
+  }
+
+  void on_arrival(const event& ev) {
+    cores_[static_cast<std::size_t>(ev.core)].ready.emplace_back(ev.lo, ev.hi);
+    wake_parked(ev.at);
+  }
+
+  void on_completion(const event& ev) {
+    split_core_state& me = cores_[static_cast<std::size_t>(ev.core)];
+    if (!me.run.active || ev.gen != me.run.gen) return;  // superseded by a split
+    me.now = std::max(me.now, ev.at);
+    makespan_ = std::max(makespan_, me.now);
+    account_range(me.run.lo, me.run.hi, me.run.item_ns);
+    me.run.active = false;
+    ++tasks_done_;
+    find_work(ev.core);
+  }
+
+  void on_wake(const event& ev) {
+    split_core_state& me = cores_[static_cast<std::size_t>(ev.core)];
+    me.now = std::max(me.now, ev.at);
+    if (me.run.active) return;  // already got work through an earlier event
+    find_work(ev.core);
+  }
+
+  void account_range(std::uint64_t lo, std::uint64_t hi, double per_item) {
+    items_executed_ += hi - lo;
+    exec_ns_total_ += static_cast<double>(hi - lo) * per_item;
+    if (cfg_.hash_items)
+      for (std::uint64_t i = lo; i < hi; ++i)
+        checksum_ += split_item_hash(cfg_.seed, i);
+  }
+
+  void start_range(int core, std::uint64_t lo, std::uint64_t hi, double per_item,
+                   double setup_ns) {
+    split_core_state& me = cores_[static_cast<std::size_t>(core)];
+    me.now += static_cast<time_ns>(setup_ns);
+    me.run.active = true;
+    me.run.lo = lo;
+    me.run.hi = hi;
+    me.run.item_ns = per_item;
+    me.run.exec_start = me.now;
+    ++me.run.gen;
+    const double exec = static_cast<double>(hi - lo) * per_item;
+    push_event(me.now + static_cast<time_ns>(exec), event_kind::completion, core,
+               me.run.gen);
+  }
+
+  // Items of `rt` already executed at instant `t` (never beyond its range).
+  static std::uint64_t items_done_at(const running_task& rt, time_ns t) {
+    if (t <= rt.exec_start) return 0;
+    const auto done = static_cast<std::uint64_t>(
+        static_cast<double>(t - rt.exec_start) / rt.item_ns);
+    return std::min(done, rt.hi - rt.lo);
+  }
+
+  void find_work(int core) {
+    split_core_state& me = cores_[static_cast<std::size_t>(core)];
+
+    // 1. Own ready queue (pop + convert + switch: the task was created
+    // staged by the serial spawner).
+    me.now += static_cast<time_ns>(queue_ns_);
+    if (!me.ready.empty()) {
+      const auto [lo, hi] = me.ready.front();
+      me.ready.pop_front();
+      start_range(core, lo, hi, task_item_ns(next_task_ord_++),
+                  convert_ns_ + switch_ns_);
+      return;
+    }
+
+    // 2. Steal a queued range, ring order, NUMA penalty when crossing.
+    for (int k = 1; k < num_cores_; ++k) {
+      const int v = (core + k) % num_cores_;
+      split_core_state& victim = cores_[static_cast<std::size_t>(v)];
+      const bool remote = victim.numa != me.numa;
+      me.now += static_cast<time_ns>(steal_ns_ +
+                                     (remote ? cfg_.model.numa_penalty_ns : 0.0));
+      if (!victim.ready.empty()) {
+        const auto [lo, hi] = victim.ready.front();
+        victim.ready.pop_front();
+        ++steals_;
+        start_range(core, lo, hi, task_item_ns(next_task_ord_++),
+                    convert_ns_ + switch_ns_);
+        return;
+      }
+    }
+
+    // 3. Lazy mode: split the running task with the most remaining items.
+    if (cfg_.lazy && try_split_into(core)) return;
+
+    // Nothing available: wait for the next work-producing event. When none
+    // can occur the core leaves the simulation (the loop drains).
+    park(core);
+  }
+
+  bool try_split_into(int thief) {
+    split_core_state& me = cores_[static_cast<std::size_t>(thief)];
+    int best = -1;
+    std::uint64_t best_remaining = 0;
+    bool any_running = false;
+    for (int v = 0; v < num_cores_; ++v) {
+      if (v == thief) continue;
+      const running_task& rt = cores_[static_cast<std::size_t>(v)].run;
+      if (!rt.active) continue;
+      any_running = true;
+      const std::uint64_t done = items_done_at(rt, me.now);
+      const std::uint64_t remaining = rt.hi - rt.lo - done;
+      if (remaining >= 2 * std::max<std::uint64_t>(1, cfg_.min_chunk) &&
+          remaining > best_remaining) {
+        best = v;
+        best_remaining = remaining;
+      }
+    }
+    // The victim scan rides on the steal probes already charged in step 2.
+    if (best < 0) {
+      if (any_running) ++split_denied_;
+      return false;
+    }
+
+    split_core_state& victim = cores_[static_cast<std::size_t>(best)];
+    running_task& rt = victim.run;
+    const std::uint64_t done = items_done_at(rt, me.now);
+    const std::uint64_t cursor = rt.lo + done;
+    // Keep the front of the remainder with the victim (round up, as the
+    // native splitter does), give the thief the back half.
+    const std::uint64_t mid = cursor + (rt.hi - cursor + 1) / 2;
+    const std::uint64_t child_hi = rt.hi;
+    ++splits_;
+
+    // Victim: finishes early at its shortened range; it also pays the spawn
+    // of the child (the native record_split + spawn_on path).
+    rt.hi = mid;
+    ++rt.gen;
+    const double kept =
+        static_cast<double>(rt.hi - rt.lo) * rt.item_ns + create_ns_;
+    push_event(rt.exec_start + static_cast<time_ns>(kept), event_kind::completion,
+               best, rt.gen);
+
+    // Thief: convert + switch for the freshly created child; the child
+    // executes the parent's items at the parent's per-item cost.
+    start_range(thief, mid, child_hi, rt.item_ns, convert_ns_ + switch_ns_);
+    return true;
+  }
+
+  void park(int core) {
+    parked_.push_back(core);
+  }
+
+  void wake_parked(time_ns at) {
+    for (const int c : parked_) {
+      const time_ns t = std::max(cores_[static_cast<std::size_t>(c)].now, at);
+      push_event(std::max(t, at + static_cast<time_ns>(cfg_.model.idle_probe_ns)),
+                 event_kind::wake, c);
+    }
+    parked_.clear();
+  }
+
+  split_sim_config cfg_;
+  const int num_cores_;
+  double create_ns_ = 0, convert_ns_ = 0, queue_ns_ = 0, switch_ns_ = 0,
+         steal_ns_ = 0;
+
+  std::vector<split_core_state> cores_;
+  std::priority_queue<event, std::vector<event>, std::greater<event>> events_;
+  std::vector<int> parked_;
+
+  std::uint64_t next_task_ord_ = 0;
+  std::uint64_t tasks_done_ = 0;
+  std::uint64_t splits_ = 0;
+  std::uint64_t split_denied_ = 0;
+  std::uint64_t steals_ = 0;
+  std::uint64_t items_executed_ = 0;
+  std::uint64_t checksum_ = 0;
   double exec_ns_total_ = 0.0;
   time_ns makespan_ = 0;
 };

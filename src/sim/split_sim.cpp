@@ -1,0 +1,11 @@
+#include "sim/split_sim.hpp"
+
+#include "sim/des_engine.hpp"
+
+namespace gran::sim {
+
+split_sim_result run_split_sim(const split_sim_config& cfg) {
+  return detail::lazy_split_engine(cfg).run();
+}
+
+}  // namespace gran::sim

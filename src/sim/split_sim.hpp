@@ -1,0 +1,58 @@
+// Simulated mirror of the lazy-splitting executor (core/split_controller.hpp
+// + algo/splittable.hpp): a discrete-event model of `items` uniform loop
+// iterations on `cores` cores, runnable either pre-chunked at a fixed grain
+// (the Fig. 3 sweep subject) or coarse-with-lazy-splitting. An idle
+// simulated core that finds no queued work splits the running task with the
+// most remaining items, exactly as a starving native worker triggers the
+// split controller — so the controller's placement on the grain U-curve can
+// be checked deterministically, without host noise.
+//
+// The checksum is a wrapping sum of split_item_hash over every executed
+// index: commutative, hence identical for any split layout and for the
+// native executor over the same range (tests/split_test.cpp asserts this).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/machine_model.hpp"
+#include "util/rng.hpp"
+
+namespace gran::sim {
+
+// The shared per-item hash: native split tests and the simulator both sum
+// this over every executed index, so checksums agree across executors by
+// construction.
+inline std::uint64_t split_item_hash(std::uint64_t seed, std::uint64_t i) noexcept {
+  return mix64_combine(seed, mix64(i));
+}
+
+struct split_sim_config {
+  machine_model model;
+  int cores = 4;
+  std::uint64_t seed = 1;
+  std::uint64_t items = 0;
+  double item_ns = 150.0;      // single-stream cost of one iteration
+  double imbalance = 0.0;      // per-task item-cost spread in [-i, +i)
+  bool lazy = true;            // false = pre-chunked fixed granularity
+  std::uint64_t chunk = 0;     // fixed mode: items per task (0 = items/cores)
+  std::uint64_t min_chunk = 64;    // lazy mode: GRAN_SPLIT_MIN mirror
+  std::uint64_t initial_tasks = 0; // lazy mode: 0 = one per core
+  bool hash_items = false;     // accumulate the per-item checksum (O(items))
+};
+
+struct split_sim_result {
+  double makespan_s = 0.0;
+  std::uint64_t tasks = 0;          // tasks executed (initial + split-off)
+  std::uint64_t splits = 0;         // back halves taken from running tasks
+  std::uint64_t split_denied = 0;   // idle demand with no splittable candidate
+  std::uint64_t steals = 0;         // queued ranges taken from another core
+  std::uint64_t items_executed = 0;
+  std::uint64_t checksum = 0;       // Σ split_item_hash (when hash_items)
+  double exec_ns = 0.0;             // Σ item execution time
+  double func_ns = 0.0;             // makespan × cores
+  double idle_rate = 0.0;           // (func − exec) / func, Eq. 1
+};
+
+split_sim_result run_split_sim(const split_sim_config& cfg);
+
+}  // namespace gran::sim

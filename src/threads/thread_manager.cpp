@@ -123,6 +123,7 @@ std::uint64_t thread_manager::spawn(task::body_fn body, task_priority priority,
   // Provenance is recorded before the enqueue so the spawn timestamp can
   // never trail the child's first task_begin.
   record_spawn(home, id);
+  queued_.fetch_add(1, std::memory_order_relaxed);
   policy_->enqueue_new(*this, home, t);
   notify_work();
   return id;
@@ -142,6 +143,7 @@ std::uint64_t thread_manager::spawn_on(int worker_hint, task::body_fn body,
   // The spawner (for provenance) is the calling worker, not the hint's
   // target — the hint only picks the child's home queue.
   record_spawn(tl_manager == this ? tl_worker : -1, id);
+  queued_.fetch_add(1, std::memory_order_relaxed);
   policy_->enqueue_hinted(*this, worker_hint, t);
   notify_work();
   return id;
@@ -159,6 +161,24 @@ void thread_manager::record_spawn(int spawner, std::uint64_t id) noexcept {
       perf::tracer::instance().emit_external(perf::trace_kind::task_enqueue, id,
                                              perf::external_worker);
   }
+}
+
+void thread_manager::record_split(std::uint64_t parent_id,
+                                  std::uint64_t split_point) noexcept {
+  const int w = tl_manager == this ? tl_worker : -1;
+  if (w < 0) return;  // splits only happen inside tasks, i.e. on workers
+  worker_data& wd = worker(w);
+  wd.counters.tasks_split.fetch_add(1, std::memory_order_relaxed);
+  const std::uint32_t point = split_point > 0xffffffffull
+                                  ? 0xffffffffu
+                                  : static_cast<std::uint32_t>(split_point);
+  perf::trace_emit(wd.trace, perf::trace_kind::task_split, w, parent_id, point);
+}
+
+void thread_manager::record_split_denied() noexcept {
+  const int w = tl_manager == this ? tl_worker : -1;
+  if (w < 0) return;
+  worker(w).counters.splits_denied.fetch_add(1, std::memory_order_relaxed);
 }
 
 int thread_manager::steal_distance(int thief, int victim) const noexcept {
@@ -195,6 +215,7 @@ void thread_manager::wake(task* t) {
 void thread_manager::schedule_ready(task* t) {
   GRAN_DEBUG_ASSERT(t->state() == task_state::pending);
   const int home = tl_manager == this ? tl_worker : -1;
+  queued_.fetch_add(1, std::memory_order_relaxed);
   policy_->enqueue_ready(*this, home, t);
   notify_work();
 }
@@ -274,7 +295,10 @@ void thread_manager::worker_main(int w) {
     task* t = policy_->get_next(*this, w);
     accumulate_func();
     if (t != nullptr) {
-      had_work = true;
+      if (!had_work) {
+        had_work = true;
+        starving_.fetch_sub(1, std::memory_order_relaxed);
+      }
       idler.reset();
       run_phase(w, t);
       accumulate_func();
@@ -284,9 +308,12 @@ void thread_manager::worker_main(int w) {
     // One pending-miss trace event per starvation episode (the first
     // fruitless scheduler round after useful work), not per probe — the
     // pending-misses *counter* carries the raw frequency; the event marks
-    // when starvation set in without flooding the ring.
+    // when starvation set in without flooding the ring. The same edge
+    // maintains starving_, the split controller's instantaneous demand
+    // signal.
     if (had_work) {
       had_work = false;
+      starving_.fetch_add(1, std::memory_order_relaxed);
       perf::trace_emit(me.trace, perf::trace_kind::pending_miss, w);
     }
 
@@ -307,6 +334,10 @@ void thread_manager::worker_main(int w) {
     }
     accumulate_func();
   }
+
+  // The loop only exits from the starving branch; withdraw this worker's
+  // contribution so starving_ drains to zero at shutdown.
+  if (!had_work) starving_.fetch_sub(1, std::memory_order_relaxed);
 
   tl_manager = nullptr;
   tl_worker = -1;
@@ -357,6 +388,7 @@ bool thread_manager::park_idle(int w) {
 
 void thread_manager::run_phase(int w, task* t) {
   worker_data& me = worker(w);
+  queued_.fetch_sub(1, std::memory_order_relaxed);
   t->begin_phase(w);
 
   tl_task = t;
@@ -399,12 +431,14 @@ void thread_manager::run_phase(int w, task* t) {
   if (t->consume_yield_request()) {
     perf::trace_emit_at(me.trace, t1, perf::trace_kind::phase_end, w, t->id(), 1);
     t->requeue_after_yield();
+    queued_.fetch_add(1, std::memory_order_relaxed);
     policy_->enqueue_ready(*this, w, t);
     return;
   }
   perf::trace_emit_at(me.trace, t1, perf::trace_kind::phase_end, w, t->id(), 2);
   if (!t->finalize_suspend()) {
     // A wake arrived while the task was switching away.
+    queued_.fetch_add(1, std::memory_order_relaxed);
     policy_->enqueue_ready(*this, w, t);
   }
 }
@@ -425,6 +459,8 @@ thread_manager::totals thread_manager::counter_totals() const {
         c.tasks_stolen_remote.load(std::memory_order_relaxed);
     sum.tasks_converted += c.tasks_converted.load(std::memory_order_relaxed);
     sum.tasks_spawned += c.tasks_spawned.load(std::memory_order_relaxed);
+    sum.tasks_split += c.tasks_split.load(std::memory_order_relaxed);
+    sum.splits_denied += c.splits_denied.load(std::memory_order_relaxed);
 
     const queue_access_counts q = wd->queue.counts();
     const queue_access_counts h = wd->high_queue.counts();
@@ -564,6 +600,13 @@ void thread_manager::register_counters() {
           "tasks created via spawn/spawn_on (worker + external threads); "
           "cross-checks the trace's task_enqueue event count",
           [tot] { return static_cast<double>(tot().tasks_spawned); });
+  reg.add("/threads/count/splits", counter_kind::monotonic,
+          "lazy splittable-range splits (back half re-enqueued as a new task)",
+          [tot] { return static_cast<double>(tot().tasks_split); });
+  reg.add("/threads/count/split-denied", counter_kind::monotonic,
+          "split demands denied because the remaining range was below "
+          "2×GRAN_SPLIT_MIN",
+          [tot] { return static_cast<double>(tot().splits_denied); });
   reg.add("/threads/count/instantaneous/alive", counter_kind::gauge,
           "tasks spawned and not yet terminated",
           [this] { return static_cast<double>(tasks_alive()); });

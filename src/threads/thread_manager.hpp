@@ -132,6 +132,35 @@ class thread_manager {
     return tasks_alive_.load(std::memory_order_acquire);
   }
 
+  // Workers currently starving (their scheduler round found no work and they
+  // have not found any since) — maintained edge-triggered off the same
+  // had_work transition that emits the pending_miss trace event. This is the
+  // instantaneous demand signal the split controller polls
+  // (core/split_controller.hpp): > 0 means a split-off back half would be
+  // picked up immediately.
+  int starving_workers() const noexcept {
+    return starving_.load(std::memory_order_relaxed);
+  }
+
+  // Tasks currently sitting in a queue (enqueued — spawned, woken, or
+  // re-queued after a yield — and not yet picked up by a worker). Advisory
+  // and momentarily stale; the split controller subtracts it from the
+  // starving count so workers that are merely slow to wake up to *existing*
+  // supply do not read as demand for more.
+  std::int64_t queued_tasks() const noexcept {
+    return queued_.load(std::memory_order_relaxed);
+  }
+
+  // Split bookkeeping (algo/splittable.hpp): bumps the calling worker's
+  // tasks_split cell and emits the task_split trace event (arg = the parent
+  // task's id, arg2 = the split point, saturated to 32 bits). The runner
+  // calls this immediately before spawn_on of the back half, so on the
+  // parent's trace lane the task_split event directly precedes the child's
+  // task_enqueue — the pairing perf/analysis.cpp uses for provenance.
+  void record_split(std::uint64_t parent_id, std::uint64_t split_point) noexcept;
+  // Split demand observed but the remaining range was below 2×min_chunk.
+  void record_split_denied() noexcept;
+
   // Aggregated raw counter values across all workers.
   struct totals {
     std::uint64_t tasks_executed = 0;
@@ -142,6 +171,8 @@ class thread_manager {
     std::uint64_t tasks_stolen_remote = 0;  // subset of stolen: cross-domain
     std::uint64_t tasks_converted = 0;
     std::uint64_t tasks_spawned = 0;  // spawn/spawn_on calls, incl. external
+    std::uint64_t tasks_split = 0;    // lazy splits (back half re-enqueued)
+    std::uint64_t splits_denied = 0;  // demand seen, range below 2×min_chunk
     queue_access_counts queues;  // summed over every dual queue
   };
   totals counter_totals() const;
@@ -198,6 +229,13 @@ class thread_manager {
   std::atomic<std::uint64_t> next_home_{0};  // round-robin for external spawns
   // Spawns from non-worker threads (worker spawns use the per-worker cell).
   std::atomic<std::uint64_t> external_spawns_{0};
+
+  // Workers in the starving state (see starving_workers()). Own line: bumped
+  // on starvation edges, read from the splittable hot loop on every poll.
+  alignas(cache_line_size) std::atomic<int> starving_{0};
+  // Tasks enqueued but not yet dequeued (see queued_tasks()). Own line:
+  // bumped at every enqueue/dequeue, polled from split candidates' hot loop.
+  alignas(cache_line_size) std::atomic<std::int64_t> queued_{0};
 
   alignas(cache_line_size) std::atomic<int> sleepers_{0};
   std::mutex park_mutex_;

@@ -40,6 +40,11 @@ struct worker_counters {
   // (work-stealing-lifo keeps its own deques); zero otherwise.
   std::atomic<std::uint64_t> extra_pending_accesses{0};
   std::atomic<std::uint64_t> extra_pending_misses{0};
+  // Lazy-splitting actuation (core/split_controller.hpp): ranges this worker
+  // split (back half re-enqueued as a new task), and split demands denied
+  // because the remaining range was below 2×GRAN_SPLIT_MIN.
+  std::atomic<std::uint64_t> tasks_split{0};
+  std::atomic<std::uint64_t> splits_denied{0};
 
   void reset() {
     tasks_executed.store(0, std::memory_order_relaxed);
@@ -52,6 +57,8 @@ struct worker_counters {
     tasks_spawned.store(0, std::memory_order_relaxed);
     extra_pending_accesses.store(0, std::memory_order_relaxed);
     extra_pending_misses.store(0, std::memory_order_relaxed);
+    tasks_split.store(0, std::memory_order_relaxed);
+    splits_denied.store(0, std::memory_order_relaxed);
   }
 };
 

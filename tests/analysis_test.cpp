@@ -328,6 +328,46 @@ TEST_F(AnalysisTest, GraphNodeProvenanceTagsTasks) {
   EXPECT_EQ(t->graph_point, 17u);
 }
 
+TEST_F(AnalysisTest, SplitChildrenJoinParentsSpawnDag) {
+  // Parent task 1 runs 10..100 on w0 and at t=50 splits: the task_split
+  // event (arg = parent id, arg2 = split point) immediately precedes the
+  // child's task_enqueue on the same lane. Child 2 runs on w1. The child
+  // must bind to the parent through the split event — and keep that binding
+  // even though the covering-phase rule would also resolve it.
+  perf::trace_lane w0;
+  w0.worker = 0;
+  w0.events = {
+      ev(10, trace_kind::task_begin, 0, 1),
+      ev(50, trace_kind::task_split, 0, 1, 5000),
+      ev(51, trace_kind::task_enqueue, 0, 2, 0),
+      ev(100, trace_kind::task_end, 0, 1),
+  };
+  perf::trace_lane w1;
+  w1.worker = 1;
+  w1.events = {
+      ev(60, trace_kind::task_begin, 1, 2),
+      ev(90, trace_kind::task_end, 1, 2),
+  };
+  const auto r = perf::analyze_trace(make_dump({w0, w1}));
+  ASSERT_TRUE(r.ok) << r.error;
+  const auto* child = find_task(r, 2);
+  ASSERT_NE(child, nullptr);
+  EXPECT_TRUE(child->split_child);
+  EXPECT_EQ(child->split_point, 5000u);
+  ASSERT_TRUE(child->has_parent);
+  EXPECT_EQ(child->parent_id, 1u);
+  EXPECT_EQ(r.tasks_from_splits, 1u);
+  ASSERT_FALSE(r.workers.empty());
+  std::uint64_t splits = 0;
+  for (const auto& w : r.workers) splits += w.splits;
+  EXPECT_EQ(splits, 1u);
+  // The split edge participates in the critical path DP like a spawn edge:
+  // parent contributes its pre-split work to the child's chain.
+  const auto* parent = find_task(r, 1);
+  ASSERT_NE(parent, nullptr);
+  EXPECT_TRUE(parent->on_critical_path);
+}
+
 TEST_F(AnalysisTest, ReportContainsCriticalPathLine) {
   perf::trace_lane w0;
   w0.worker = 0;
