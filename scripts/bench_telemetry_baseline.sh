@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Records the telemetry-plane overhead baseline (end-to-end task throughput
+# with the streaming telemetry session off/on) into results/BENCH_telemetry.json,
+# building the bench if needed.
+#
+# Two gates, both enforced by the bench itself:
+#   * absolute: telemetry-ON overhead must stay under 2% (the budget
+#     docs/TELEMETRY.md promises) — always checked;
+#   * relative: when a baseline exists, the telemetry-OFF throughput must not
+#     regress more than 2% against it (catches a hot-path cost sneaking into
+#     the always-on heartbeat stamping).
+# The bench exits non-zero on either breach, then the baseline is refreshed.
+#
+#   scripts/bench_telemetry_baseline.sh [--tasks=N] [--spin=N] ...
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j --target micro_telemetry_overhead >/dev/null
+
+mkdir -p results
+extra=()
+if [[ -f results/BENCH_telemetry.json ]]; then
+  extra+=(--baseline=results/BENCH_telemetry.json)
+fi
+./build/bench/micro_telemetry_overhead --json=results/BENCH_telemetry.json.new \
+  "${extra[@]}" "$@" | tee results/micro_telemetry_overhead.txt
+mv results/BENCH_telemetry.json.new results/BENCH_telemetry.json

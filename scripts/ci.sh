@@ -45,6 +45,33 @@ grep -E "critical path: [0-9.]+ ms \([0-9.]+% of wall, [0-9]+ tasks\)" \
        cat "$trace_tmp/report.txt" >&2; exit 1; }
 echo "trace-report smoke: critical-path line ok"
 
+echo "=== ci: telemetry smoke ==="
+# The live telemetry plane end to end: a bench streams windowed metrics in
+# both formats, gran_top validates them (JSONL schema + Prometheus grammar),
+# then a second run takes a SIGUSR1 flight-recorder dump mid-flight and the
+# offline analyzer must load it.
+./build/bench/graph_sweep --pattern=stencil1d --width=8 --steps=6 \
+    --grain-min=2000 --grain-max=2000 --samples=1 --workers=2 \
+    --metrics-out="$trace_tmp/metrics.jsonl" \
+    --metrics-prom="$trace_tmp/metrics.prom" \
+    --metrics-interval-us=20000 >/dev/null
+./build/tools/gran_top --check="$trace_tmp/metrics.jsonl"
+./build/tools/gran_top --check-prom="$trace_tmp/metrics.prom"
+./build/bench/graph_sweep --pattern=stencil1d --width=64 --steps=200 \
+    --grain-min=100000 --grain-max=100000 --samples=3 --workers=2 \
+    --metrics-out="$trace_tmp/flight.jsonl" \
+    --flight-prefix="$trace_tmp/flight" >/dev/null &
+sweep_pid=$!
+sleep 1
+kill -USR1 "$sweep_pid" 2>/dev/null \
+  || { echo "telemetry smoke: sweep finished before SIGUSR1" >&2; exit 1; }
+wait "$sweep_pid"
+flight_bin=$(ls "$trace_tmp"/flight-*.bin 2>/dev/null | head -1)
+[[ -n "$flight_bin" ]] \
+  || { echo "telemetry smoke: no flight dump written" >&2; exit 1; }
+./build/tools/gran_trace_report --in="$flight_bin" >/dev/null
+echo "telemetry smoke: exporters + SIGUSR1 flight dump ok"
+
 echo "=== ci: topology smoke ==="
 # Hier-vs-flat steal order and both pinning layouts at CI sizes. The forced
 # 2-worker / 2-domain split exercises the remote-steal accounting even on

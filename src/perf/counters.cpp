@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <mutex>
 
 namespace gran::perf {
 
@@ -46,31 +47,42 @@ registry& registry::instance() {
 
 void registry::add(const std::string& path, counter_kind kind, std::string description,
                    sample_fn fn) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::shared_mutex> lock(mutex_);
   counters_[path] = entry{kind, std::move(description), std::move(fn)};
+  ++generation_;
 }
 
 bool registry::remove(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return counters_.erase(path) != 0;
+  std::lock_guard<std::shared_mutex> lock(mutex_);
+  const bool erased = counters_.erase(path) != 0;
+  if (erased) ++generation_;
+  return erased;
 }
 
 void registry::remove_prefix(const std::string& prefix) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::shared_mutex> lock(mutex_);
   auto it = counters_.lower_bound(prefix);
-  while (it != counters_.end() && it->first.rfind(prefix, 0) == 0) it = counters_.erase(it);
+  bool any = false;
+  while (it != counters_.end() && it->first.rfind(prefix, 0) == 0) {
+    it = counters_.erase(it);
+    any = true;
+  }
+  if (any) ++generation_;
+}
+
+std::uint64_t registry::generation() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return generation_;
 }
 
 std::optional<counter_value> registry::query(const std::string& path) const {
-  sample_fn fn;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = counters_.find(path);
-    if (it == counters_.end()) return std::nullopt;
-    fn = it->second.fn;  // copy so the sample runs outside the lock
-  }
+  // Shared lock held across the sample call: remove/remove_prefix cannot
+  // complete (and the counter's owner cannot finish dying) mid-sample.
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  const auto it = counters_.find(path);
+  if (it == counters_.end()) return std::nullopt;
   counter_value v;
-  v.value = fn();
+  v.value = it->second.fn();
   v.timestamp_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                        std::chrono::steady_clock::now().time_since_epoch())
                        .count();
@@ -79,22 +91,17 @@ std::optional<counter_value> registry::query(const std::string& path) const {
 
 std::vector<std::pair<std::string, counter_value>> registry::query_all(
     const std::string& prefix) const {
-  // One lock acquisition to copy the matching (path, fn) pairs ...
-  std::vector<std::pair<std::string, sample_fn>> fns;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (auto it = counters_.lower_bound(prefix);
-         it != counters_.end() && it->first.rfind(prefix, 0) == 0; ++it)
-      fns.emplace_back(it->first, it->second.fn);
-  }
-  // ... then every sample runs unlocked, stamped with one shared timestamp.
+  // One shared-lock acquisition for the whole batch, held across the sample
+  // calls (see the mutex_ comment in the header): concurrent with other
+  // queries, a barrier against unregistration. One shared timestamp.
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   const std::int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
                                std::chrono::steady_clock::now().time_since_epoch())
                                .count();
   std::vector<std::pair<std::string, counter_value>> out;
-  out.reserve(fns.size());
-  for (auto& [path, fn] : fns)
-    out.emplace_back(std::move(path), counter_value{fn(), now});
+  for (auto it = counters_.lower_bound(prefix);
+       it != counters_.end() && it->first.rfind(prefix, 0) == 0; ++it)
+    out.emplace_back(it->first, counter_value{it->second.fn(), now});
   return out;
 }
 
@@ -105,29 +112,40 @@ double registry::value_or(const std::string& path, double def) const {
 
 std::vector<std::string> registry::list(const std::string& prefix) const {
   std::vector<std::string> out;
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   for (auto it = counters_.lower_bound(prefix);
        it != counters_.end() && it->first.rfind(prefix, 0) == 0; ++it)
     out.push_back(it->first);
   return out;
 }
 
+std::vector<std::pair<std::string, counter_kind>> registry::kinds_of_prefix(
+    const std::string& prefix) const {
+  std::vector<std::pair<std::string, counter_kind>> out;
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  for (auto it = counters_.lower_bound(prefix);
+       it != counters_.end() && it->first.rfind(prefix, 0) == 0; ++it)
+    out.emplace_back(it->first, it->second.kind);
+  return out;
+}
+
 std::optional<counter_kind> registry::kind_of(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   const auto it = counters_.find(path);
   if (it == counters_.end()) return std::nullopt;
   return it->second.kind;
 }
 
 std::string registry::describe(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   const auto it = counters_.find(path);
   return it == counters_.end() ? std::string{} : it->second.description;
 }
 
 void registry::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::shared_mutex> lock(mutex_);
   counters_.clear();
+  ++generation_;
 }
 
 }  // namespace gran::perf

@@ -29,7 +29,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
+#include <shared_mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -84,16 +84,28 @@ class registry {
   // Samples every counter whose path starts with `prefix`, taking the
   // registry lock exactly once for the whole batch (the per-path query()
   // takes it per counter, which is what made high-frequency sampling
-  // contend with registration). The sample functions run outside the lock;
-  // all values share one timestamp. Results are sorted by path.
+  // contend with registration). The shared lock is held across the sample
+  // calls — see the mutex_ comment; all values share one timestamp.
+  // Results are sorted by path.
   std::vector<std::pair<std::string, counter_value>> query_all(
       const std::string& prefix) const;
 
   // Raw value convenience; `def` for unknown paths.
   double value_or(const std::string& path, double def) const;
 
+  // Monotonically increasing whenever the registered counter *set* changes
+  // (add/remove/remove_prefix/clear). Consumers that cache a resolved
+  // counter list (sampler_thread, window_aggregator) compare generations to
+  // notice late registrations instead of freezing their column set.
+  std::uint64_t generation() const;
+
   // All registered paths starting with `prefix`, sorted.
   std::vector<std::string> list(const std::string& prefix = "/") const;
+
+  // (path, kind) for every counter under `prefix`, sorted by path, one lock
+  // acquisition for the batch (kind_of per path would lock per counter).
+  std::vector<std::pair<std::string, counter_kind>> kinds_of_prefix(
+      const std::string& prefix) const;
 
   std::optional<counter_kind> kind_of(const std::string& path) const;
   std::string describe(const std::string& path) const;
@@ -110,8 +122,16 @@ class registry {
     sample_fn fn;
   };
 
-  mutable std::mutex mutex_;
+  // Reader-writer: queries hold a shared lock for the WHOLE batch, including
+  // the sample-fn calls, so remove/remove_prefix (exclusive) cannot return
+  // while a sampler still runs a fn about to lose its captured object —
+  // ~thread_manager relies on this to make unregister_counters() a barrier
+  // against the background telemetry/sampler threads. Samplers stay
+  // concurrent with each other; registration is the only writer and is rare.
+  // Sample fns must not call back into the registry's mutating API.
+  mutable std::shared_mutex mutex_;
   std::map<std::string, entry> counters_;
+  std::uint64_t generation_ = 0;  // guarded by mutex_
 };
 
 }  // namespace gran::perf

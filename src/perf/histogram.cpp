@@ -1,6 +1,7 @@
 #include "perf/histogram.hpp"
 
 #include <cmath>
+#include <mutex>
 
 namespace gran::perf {
 
@@ -32,6 +33,84 @@ double histogram_snapshot::percentile(double p) const {
     cum += in_bucket;
   }
   return std::ldexp(1.0, num_buckets);  // unreachable with consistent counts
+}
+
+histogram_snapshot histogram_snapshot::snapshot_delta(const histogram_snapshot& prev,
+                                                      bool* reset_detected) const {
+  bool reset = count < prev.count || sum < prev.sum;
+  for (int i = 0; !reset && i < num_buckets; ++i)
+    reset = buckets[static_cast<std::size_t>(i)] < prev.buckets[static_cast<std::size_t>(i)];
+  if (reset_detected != nullptr) *reset_detected = reset;
+  if (reset) return *this;
+
+  histogram_snapshot d;
+  for (int i = 0; i < num_buckets; ++i)
+    d.buckets[static_cast<std::size_t>(i)] =
+        buckets[static_cast<std::size_t>(i)] - prev.buckets[static_cast<std::size_t>(i)];
+  d.count = count - prev.count;
+  d.sum = sum - prev.sum;
+  return d;
+}
+
+histogram_registry& histogram_registry::instance() {
+  static histogram_registry r;
+  return r;
+}
+
+void histogram_registry::add(const std::string& name, snap_fn fn) {
+  std::lock_guard<std::shared_mutex> lock(mutex_);
+  sources_[name] = std::move(fn);
+  ++generation_;
+}
+
+bool histogram_registry::remove(const std::string& name) {
+  std::lock_guard<std::shared_mutex> lock(mutex_);
+  const bool erased = sources_.erase(name) != 0;
+  if (erased) ++generation_;
+  return erased;
+}
+
+void histogram_registry::remove_prefix(const std::string& prefix) {
+  std::lock_guard<std::shared_mutex> lock(mutex_);
+  auto it = sources_.lower_bound(prefix);
+  bool any = false;
+  while (it != sources_.end() && it->first.rfind(prefix, 0) == 0) {
+    it = sources_.erase(it);
+    any = true;
+  }
+  if (any) ++generation_;
+}
+
+std::vector<std::pair<std::string, histogram_snapshot>> histogram_registry::snap_all(
+    const std::string& prefix) const {
+  // Shared lock held across the snap calls — a barrier against
+  // remove_prefix, see the header comment.
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::vector<std::pair<std::string, histogram_snapshot>> out;
+  for (auto it = sources_.lower_bound(prefix);
+       it != sources_.end() && it->first.rfind(prefix, 0) == 0; ++it)
+    out.emplace_back(it->first, it->second());
+  return out;
+}
+
+std::vector<std::string> histogram_registry::list(const std::string& prefix) const {
+  std::vector<std::string> out;
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  for (auto it = sources_.lower_bound(prefix);
+       it != sources_.end() && it->first.rfind(prefix, 0) == 0; ++it)
+    out.push_back(it->first);
+  return out;
+}
+
+std::uint64_t histogram_registry::generation() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return generation_;
+}
+
+void histogram_registry::clear() {
+  std::lock_guard<std::shared_mutex> lock(mutex_);
+  sources_.clear();
+  ++generation_;
 }
 
 histogram_snapshot log2_histogram::snap() const {

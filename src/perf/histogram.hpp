@@ -14,6 +14,12 @@
 #include <atomic>
 #include <bit>
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace gran::perf {
 
@@ -32,6 +38,59 @@ struct histogram_snapshot {
   // Value (ns) at percentile p in [0, 100], linearly interpolated inside the
   // selected log2 bucket. 0 when the histogram is empty.
   double percentile(double p) const;
+
+  // Bucket-wise difference `*this - prev`: the distribution of only the
+  // samples recorded since `prev` was taken — exact interval percentiles,
+  // not an approximation from cumulative values. A histogram is monotonic
+  // between resets; when any bucket (or count/sum) of `prev` exceeds ours
+  // the histogram was reset in between, so `prev` is discarded and the full
+  // current snapshot is returned (`reset_detected` reports which happened).
+  histogram_snapshot snapshot_delta(const histogram_snapshot& prev,
+                                    bool* reset_detected = nullptr) const;
+};
+
+// Process-wide registry of named histogram *sources* (snapshot functions),
+// the distribution-valued sibling of perf::registry: scalar percentile
+// gauges lose the bucket structure, but windowed telemetry needs raw
+// snapshots to compute interval deltas (snapshot_delta) and merge views
+// across workers. The thread manager registers
+// /threads/histogram/task-{duration,overhead} (merged over workers) plus
+// per-worker instances; the window aggregator snapshots them each tick.
+class histogram_registry {
+ public:
+  using snap_fn = std::function<histogram_snapshot()>;
+
+  static histogram_registry& instance();
+
+  // Registers a source; replaces any previous registration of `name`.
+  void add(const std::string& name, snap_fn fn);
+  bool remove(const std::string& name);
+  void remove_prefix(const std::string& prefix);
+
+  // Snapshots every source whose name starts with `prefix`; the shared lock
+  // is held across the snap calls so remove_prefix is a barrier against
+  // in-flight snapshots (same contract as registry::query_all — the thread
+  // manager's destructor depends on it). Results are sorted by name.
+  std::vector<std::pair<std::string, histogram_snapshot>> snap_all(
+      const std::string& prefix) const;
+
+  std::vector<std::string> list(const std::string& prefix = "/") const;
+
+  // Bumped whenever the source set changes (same contract as
+  // registry::generation()).
+  std::uint64_t generation() const;
+
+  void clear();  // tests
+
+ private:
+  histogram_registry() = default;
+
+  // Reader-writer, same discipline as registry::mutex_: snap_all samples
+  // under a shared lock, mutators are exclusive, snap fns must not call
+  // back into the mutating API.
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, snap_fn> sources_;
+  std::uint64_t generation_ = 0;
 };
 
 class log2_histogram {

@@ -34,6 +34,13 @@ observability_session::options observability_session::options_from_env() {
   o.sample_out = env_string("GRAN_SAMPLE_OUT", "");
   const std::string set = env_string("GRAN_SAMPLE_SET", "");
   if (!set.empty()) o.sample_prefixes = split_prefixes(set);
+  o.metrics_out = env_string("GRAN_METRICS", "");
+  o.metrics_prom = env_string("GRAN_METRICS_PROM", "");
+  o.metrics_interval_us = env_int("GRAN_METRICS_US", 0);
+  o.flight_prefix = env_string("GRAN_FLIGHT", "");
+  if (o.flight_prefix == "1" || o.flight_prefix == "true")
+    o.flight_prefix = "gran_flight";
+  o.stall_ns = env_int("GRAN_STALL_NS", 0);
   return o;
 }
 
@@ -48,6 +55,12 @@ observability_session::options observability_session::options_from_cli(
   base.sample_out = args.get("sample-out", base.sample_out);
   const std::string set = args.get("sample-set", "");
   if (!set.empty()) base.sample_prefixes = split_prefixes(set);
+  base.metrics_out = args.get("metrics-out", base.metrics_out);
+  base.metrics_prom = args.get("metrics-prom", base.metrics_prom);
+  base.metrics_interval_us =
+      args.get_int("metrics-interval-us", base.metrics_interval_us);
+  base.flight_prefix = args.get("flight-prefix", base.flight_prefix);
+  base.stall_ns = args.get_int("stall-ns", base.stall_ns);
   return base;
 }
 
@@ -64,6 +77,14 @@ observability_session::observability_session(options opt) : opt_(std::move(opt))
     so.interval_us = opt_.sample_interval_us;
     sampler_ = std::make_unique<sampler_thread>(std::move(so));
   }
+  telemetry_options to;
+  to.jsonl_out = opt_.metrics_out;
+  to.prom_out = opt_.metrics_prom;
+  if (opt_.metrics_interval_us > 0) to.interval_us = opt_.metrics_interval_us;
+  to.flight_prefix = opt_.flight_prefix;
+  if (opt_.stall_ns > 0) to.watchdog.stuck_ns = opt_.stall_ns;
+  if (to.enabled())
+    telemetry_ = std::make_unique<telemetry_session>(std::move(to));
 }
 
 observability_session::~observability_session() { finish(); }
@@ -71,6 +92,19 @@ observability_session::~observability_session() { finish(); }
 void observability_session::finish() {
   if (finished_) return;
   finished_ = true;
+  if (telemetry_) {
+    telemetry_->stop();
+    if (!opt_.metrics_out.empty())
+      std::cout << "(telemetry: " << telemetry_->windows_exported()
+                << " windows streamed to " << opt_.metrics_out << ")\n";
+    if (!opt_.metrics_prom.empty())
+      std::cout << "(telemetry: Prometheus exposition in " << opt_.metrics_prom
+                << ")\n";
+    if (telemetry_->incidents_raised() > 0)
+      std::cout << "(watchdog: " << telemetry_->incidents_raised()
+                << " stall incident(s); last flight dump: "
+                << telemetry_->last_flight_path() << ")\n";
+  }
   if (sampler_) {
     sampler_->stop();
     if (sampler_->dump_file(opt_.sample_out))

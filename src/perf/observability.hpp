@@ -14,6 +14,18 @@
 //   --sample-interval-us=N        GRAN_SAMPLE_US      sampler period; >0 on
 //   --sample-out=PATH             GRAN_SAMPLE_OUT     .csv or .json series
 //   --sample-set=P1,P2            GRAN_SAMPLE_SET     counter prefixes
+//   --metrics-out=DEST            GRAN_METRICS        live JSONL window
+//                                                     stream (file, FIFO, or
+//                                                     tcp://host:port) —
+//                                                     tools/gran_top tails it
+//   --metrics-prom=PATH           GRAN_METRICS_PROM   Prometheus textfile,
+//                                                     rewritten per window
+//   --metrics-interval-us=N       GRAN_METRICS_US     window length
+//   --flight-prefix=P             GRAN_FLIGHT         flight recorder on:
+//                                                     stall/SIGUSR1 dumps
+//                                                     P-<n>.bin + .txt
+//   --stall-ns=N                  GRAN_STALL_NS       watchdog stuck-task
+//                                                     threshold
 #pragma once
 
 #include <cstdint>
@@ -22,6 +34,7 @@
 #include <vector>
 
 #include "perf/sampler_thread.hpp"
+#include "perf/telemetry.hpp"
 #include "util/cli.hpp"
 
 namespace gran::perf {
@@ -35,6 +48,11 @@ class observability_session {
     std::uint64_t sample_interval_us = 0;   // 0 = sampler off
     std::string sample_out;                 // default gran_samples.csv
     std::vector<std::string> sample_prefixes{"/threads"};
+    std::string metrics_out;                // JSONL stream; empty = off
+    std::string metrics_prom;               // Prometheus textfile; empty = off
+    std::int64_t metrics_interval_us = 0;   // 0 = default (100 ms)
+    std::string flight_prefix;              // flight recorder; empty = off
+    std::int64_t stall_ns = 0;              // 0 = default stuck threshold
   };
 
   // Environment-only defaults (GRAN_TRACE, GRAN_SAMPLE_US, ...).
@@ -57,10 +75,13 @@ class observability_session {
   }
   bool sampling() const { return sampler_ != nullptr; }
   const sampler_thread* sampler() const { return sampler_.get(); }
+  bool telemetry() const { return telemetry_ != nullptr; }
+  telemetry_session* telemetry_ptr() { return telemetry_.get(); }
 
  private:
   options opt_;
   std::unique_ptr<sampler_thread> sampler_;
+  std::unique_ptr<telemetry_session> telemetry_;
   bool finished_ = false;
 };
 

@@ -57,6 +57,11 @@ void sampler_thread::run() {
 }
 
 void sampler_thread::sample_once() {
+  // Generation first, sampling second: if a registration slips in between,
+  // the stored (stale) generation forces a re-resolve on the next tick, so
+  // a late counter is never missed for more than one sample.
+  const std::uint64_t gen = registry::instance().generation();
+
   // One registry lock acquisition per prefix per tick (query_all), then the
   // sample lambdas run unlocked.
   std::vector<std::pair<std::string, counter_value>> sampled;
@@ -67,30 +72,35 @@ void sampler_thread::sample_once() {
   }
 
   std::lock_guard<std::mutex> lock(mutex_);
-  if (columns_.empty()) {
-    columns_.reserve(sampled.size());
-    for (const auto& [path, v] : sampled) columns_.push_back(path);
+  if (gen != last_generation_) {
+    // The counter set changed (or this is the first tick): append columns
+    // for any new paths. Appending keeps every existing row's indices
+    // valid; rows recorded before a column appeared are NaN-padded on
+    // read. Removed counters keep their column and read NaN from now on.
+    last_generation_ = gen;
+    for (const auto& [path, v] : sampled)
+      if (col_index_.try_emplace(path, columns_.size()).second)
+        columns_.push_back(path);
   }
 
   row r;
   r.timestamp_ns = now_ns();
   r.values.assign(columns_.size(), std::numeric_limits<double>::quiet_NaN());
-  // Counter sets are stable in practice; align by position with a fallback
-  // search for the (rare) case of counters vanishing mid-run.
+  // Counter sets are stable between generation bumps; align by position
+  // with a map fallback for the off-position cases (counters vanishing or
+  // joining mid-run).
   std::size_t hint = 0;
   for (const auto& [path, v] : sampled) {
-    std::size_t col = columns_.size();
+    std::size_t col;
     if (hint < columns_.size() && columns_[hint] == path) {
       col = hint++;
     } else {
-      for (std::size_t i = 0; i < columns_.size(); ++i)
-        if (columns_[i] == path) {
-          col = i;
-          hint = i + 1;
-          break;
-        }
+      const auto it = col_index_.find(path);
+      if (it == col_index_.end()) continue;  // registered after the gen read
+      col = it->second;
+      hint = col + 1;
     }
-    if (col < columns_.size()) r.values[col] = v.value;
+    r.values[col] = v.value;
   }
 
   rows_.push_back(std::move(r));
@@ -108,7 +118,12 @@ std::vector<std::string> sampler_thread::columns() const {
 
 std::vector<sampler_thread::row> sampler_thread::series() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return {rows_.begin(), rows_.end()};
+  std::vector<row> out{rows_.begin(), rows_.end()};
+  // Rows recorded before a late column appeared are shorter than columns_;
+  // pad so every row aligns with columns().
+  for (row& r : out)
+    r.values.resize(columns_.size(), std::numeric_limits<double>::quiet_NaN());
+  return out;
 }
 
 void sampler_thread::dump_csv(std::ostream& os) const {
@@ -119,7 +134,10 @@ void sampler_thread::dump_csv(std::ostream& os) const {
   const std::int64_t t0 = rows_.empty() ? 0 : rows_.front().timestamp_ns;
   for (const auto& r : rows_) {
     os << (r.timestamp_ns - t0);
-    for (const double v : r.values) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      const double v = c < r.values.size()
+                           ? r.values[c]
+                           : std::numeric_limits<double>::quiet_NaN();
       os << ',';
       if (std::isnan(v))
         os << "nan";
@@ -139,7 +157,10 @@ void sampler_thread::dump_json(std::ostream& os) const {
   for (std::size_t i = 0; i < rows_.size(); ++i) {
     const auto& r = rows_[i];
     os << "    [" << (r.timestamp_ns - t0);
-    for (const double v : r.values) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      const double v = c < r.values.size()
+                           ? r.values[c]
+                           : std::numeric_limits<double>::quiet_NaN();
       if (std::isnan(v))
         os << ", null";
       else

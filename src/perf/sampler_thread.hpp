@@ -16,14 +16,17 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace gran::perf {
 
 struct sampler_options {
-  // Counter-path prefixes to record (resolved on the first tick; counters
-  // registered later are not picked up, counters unregistered later read as
-  // NaN).
+  // Counter-path prefixes to record. The column set follows the registry:
+  // counters registered after the sampler started are appended as new
+  // columns as soon as the registry generation bumps (rows recorded before
+  // then read NaN in the new columns); counters unregistered mid-run keep
+  // their column and read NaN from then on.
   std::vector<std::string> prefixes{"/threads"};
   // Sampling period.
   std::uint64_t interval_us = 1000;
@@ -48,9 +51,13 @@ class sampler_thread {
   // Stops the background thread (idempotent). Rows remain queryable.
   void stop();
 
-  // Column paths, fixed at the first tick (empty before it).
+  // Column paths (empty before the first tick). Append-only: late
+  // registrations add columns at the end, so existing row indices stay
+  // valid.
   std::vector<std::string> columns() const;
-  // Copy of the retained time series, oldest first.
+  // Copy of the retained time series, oldest first. Every row is padded
+  // with NaN to the current column count (rows recorded before a column
+  // appeared have no value for it).
   std::vector<row> series() const;
   std::uint64_t samples_taken() const { return taken_.load(std::memory_order_relaxed); }
   std::uint64_t samples_dropped() const { return dropped_.load(std::memory_order_relaxed); }
@@ -69,8 +76,10 @@ class sampler_thread {
 
   sampler_options opt_;
 
-  mutable std::mutex mutex_;  // guards columns_ and rows_
+  mutable std::mutex mutex_;  // guards columns_, col_index_, rows_
   std::vector<std::string> columns_;
+  std::unordered_map<std::string, std::size_t> col_index_;  // path -> column
+  std::uint64_t last_generation_ = ~std::uint64_t{0};       // registry gen
   std::deque<row> rows_;
 
   std::atomic<std::uint64_t> taken_{0};

@@ -77,6 +77,29 @@ std::vector<trace_event> trace_ring::snapshot() const {
   return out;
 }
 
+std::vector<trace_event> trace_ring::snapshot_live(std::uint64_t* dropped_out) const {
+  // Acquire pairs with the producer's release publish: every slot below
+  // `end` is fully written before we read it. Slots the producer reuses
+  // *during* the copy (≥ one full lap ahead) are discarded afterwards — the
+  // copy may have read them torn, but none of them survive the trim.
+  const std::uint64_t end = written();
+  const std::uint64_t begin = end > capacity() ? end - capacity() : 0;
+  std::vector<trace_event> copied;
+  copied.reserve(static_cast<std::size_t>(end - begin));
+  for (std::uint64_t s = begin; s < end; ++s) copied.push_back(slots_[s & mask_]);
+
+  const std::uint64_t end_after = written();
+  const std::uint64_t safe_begin =
+      end_after > capacity() ? std::max(begin, end_after - capacity()) : begin;
+  if (dropped_out != nullptr)
+    *dropped_out = (end > capacity() ? end - capacity() : 0) + (safe_begin - begin);
+  if (safe_begin == begin) return copied;
+  if (safe_begin >= end) return {};
+  copied.erase(copied.begin(),
+               copied.begin() + static_cast<std::ptrdiff_t>(safe_begin - begin));
+  return copied;
+}
+
 tracer& tracer::instance() {
   static tracer t;
   return t;
@@ -365,7 +388,7 @@ bool tracer::export_chrome_json(const std::string& path) const {
   return static_cast<bool>(f);
 }
 
-trace_dump tracer::dump_locked() const {
+trace_dump tracer::dump_locked(bool live) const {
   trace_dump out;
   out.ns_per_tick = tsc_clock::ns_per_tick();
 
@@ -384,8 +407,12 @@ trace_dump tracer::dump_locked() const {
   const auto add_lane = [&](std::uint16_t worker, const trace_ring& r) {
     trace_lane lane;
     lane.worker = worker;
-    lane.dropped = r.dropped();
-    lane.events = r.snapshot();
+    if (live) {
+      lane.events = r.snapshot_live(&lane.dropped);
+    } else {
+      lane.dropped = r.dropped();
+      lane.events = r.snapshot();
+    }
     for (auto& e : lane.events) intern(e.name);
     out.lanes.push_back(std::move(lane));
   };
@@ -404,28 +431,39 @@ trace_dump tracer::dump_locked() const {
 
 trace_dump tracer::dump() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return dump_locked();
+  return dump_locked(/*live=*/false);
+}
+
+trace_dump tracer::dump_live() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dump_locked(/*live=*/true);
 }
 
 void tracer::write_binary(std::ostream& os) const {
   trace_dump d;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    d = dump_locked();
+    d = dump_locked(/*live=*/false);
     warn_dropped_locked();
   }
+  write_trace_binary(os, d);
+}
+
+void write_trace_binary(std::ostream& os, const trace_dump& d) {
+  static const std::vector<std::string> no_names;
+  const std::vector<std::string>& names = d.names ? *d.names : no_names;
 
   // Map interned name pointers back to table indices for serialization.
   std::unordered_map<const char*, std::uint32_t> index;
-  for (std::uint32_t i = 0; i < d.names->size(); ++i)
-    index.emplace((*d.names)[i].c_str(), i);
+  for (std::uint32_t i = 0; i < names.size(); ++i)
+    index.emplace(names[i].c_str(), i);
 
   os.write(binary_magic, sizeof binary_magic);
   put_raw(os, binary_version);
   put_raw(os, static_cast<std::uint32_t>(d.lanes.size()));
-  put_raw(os, static_cast<std::uint32_t>(d.names->size()));
+  put_raw(os, static_cast<std::uint32_t>(names.size()));
   put_raw(os, d.ns_per_tick);
-  for (const auto& s : *d.names) {
+  for (const auto& s : names) {
     put_raw(os, static_cast<std::uint32_t>(s.size()));
     os.write(s.data(), static_cast<std::streamsize>(s.size()));
   }
@@ -436,7 +474,10 @@ void tracer::write_binary(std::ostream& os) const {
     for (const auto& e : lane.events) {
       put_raw(os, e.ticks);
       put_raw(os, e.arg);
-      put_raw(os, e.name ? index.at(e.name) : no_name);
+      // Hand-built dumps may carry names outside the table; drop them rather
+      // than crash (interned dumps always resolve).
+      const auto it = e.name != nullptr ? index.find(e.name) : index.end();
+      put_raw(os, it != index.end() ? it->second : no_name);
       put_raw(os, static_cast<std::uint16_t>(e.kind));
       put_raw(os, e.worker);
       put_raw(os, e.arg2);

@@ -122,6 +122,15 @@ class trace_ring {
   // Copies the retained events, oldest first. Producer must be quiescent.
   std::vector<trace_event> snapshot() const;
 
+  // Best-effort copy that tolerates a LIVE producer (flight recorder): reads
+  // the published sequence with acquire (so all events below it are
+  // visible), copies, then re-reads the sequence and trims from the front
+  // whatever the producer may have overwritten during the copy — a torn
+  // event can only be one of those trimmed slots. `dropped_out` receives
+  // wraparound losses including the trim. The producer keeps emitting
+  // throughout; only the snapshot's tail boundary is approximate.
+  std::vector<trace_event> snapshot_live(std::uint64_t* dropped_out = nullptr) const;
+
   void clear() noexcept { seq_.store(0, std::memory_order_release); }
 
  private:
@@ -162,6 +171,10 @@ struct trace_dump {
 // Returns false and leaves `out` untouched on malformed input.
 bool load_trace_binary(std::istream& is, trace_dump& out);
 bool load_trace_binary(const std::string& path, trace_dump& out);
+
+// Serializes any trace_dump in the "GRANTRC1" format — the flight recorder
+// writes live captures through this; tracer::write_binary delegates here.
+void write_trace_binary(std::ostream& os, const trace_dump& d);
 
 // Process-global trace session: owns one ring per worker index and the
 // exporter. Rings outlive any single thread_manager (sequential managers
@@ -221,6 +234,12 @@ class tracer {
   // requirement as write_chrome_json.
   trace_dump dump() const;
 
+  // Flight-recorder capture: like dump(), but valid while workers are still
+  // emitting (per-ring snapshot_live). The freshest events may be trimmed
+  // when a ring wraps mid-copy; names are safe to intern because every call
+  // site passes string literals.
+  trace_dump dump_live() const;
+
   // Binary export of dump() — the "GRANTRC1" format load_trace_binary
   // reads. Carries ns_per_tick so a dump analyzes identically off-host.
   void write_binary(std::ostream& os) const;
@@ -233,7 +252,8 @@ class tracer {
 
  private:
   tracer() = default;
-  trace_dump dump_locked() const;  // caller holds mutex_
+  // Caller holds mutex_. `live` selects snapshot_live per ring.
+  trace_dump dump_locked(bool live) const;
   void warn_dropped_locked() const;
 
   static std::atomic<bool> enabled_;

@@ -5,8 +5,11 @@
 #include <exception>
 #include <iostream>
 
+#include "perf/heartbeat.hpp"
 #include "perf/report.hpp"
+#include "perf/telemetry.hpp"
 #include "perf/trace.hpp"
+#include "perf/watchdog.hpp"
 #include "threads/runtime.hpp"
 #include "topo/affinity.hpp"
 #include "util/env.hpp"
@@ -84,6 +87,12 @@ thread_manager::thread_manager(scheduler_config cfg)
     workers_.push_back(std::move(wd));
   }
 
+  // Live telemetry: GRAN_METRICS / GRAN_METRICS_PROM / GRAN_FLIGHT start a
+  // process-lifetime session in any program, mirroring GRAN_TRACE below.
+  // Must run before the tracer ring handout: GRAN_FLIGHT force-enables
+  // tracing and the workers need their rings.
+  perf::telemetry_autostart_from_env();
+
   // Task-lifecycle tracing: GRAN_TRACE=path (or a tool calling
   // perf::tracer::enable() before constructing the manager) turns it on;
   // each worker caches its ring pointer so the hot-path check is one
@@ -92,6 +101,15 @@ thread_manager::thread_manager(scheduler_config cfg)
   if (perf::tracer::enabled())
     for (int w = 0; w < workers; ++w)
       workers_[static_cast<std::size_t>(w)]->trace = perf::tracer::instance().ring(w);
+
+  // Liveness monitoring: publish this pool on the heartbeat board so the
+  // stall watchdog (perf/watchdog.hpp) can observe the workers without a
+  // dependency on this class. Like the counter registry, the board belongs
+  // to the most recent manager.
+  perf::heartbeat_board::instance().attach(workers);
+  for (int w = 0; w < workers; ++w)
+    workers_[static_cast<std::size_t>(w)]->heartbeat =
+        perf::heartbeat_board::instance().slot(w);
 
   policy_ = make_policy(cfg_.policy);
   policy_->init(*this);
@@ -247,6 +265,7 @@ void thread_manager::stop() {
   for (auto& th : threads_)
     if (th.joinable()) th.join();
   threads_.clear();
+  perf::heartbeat_board::instance().detach();
 
   // GRAN_PRINT_COUNTERS=<prefix> dumps the counters at shutdown — the
   // equivalent of HPX's --hpx:print-counter post-processing interface.
@@ -288,6 +307,11 @@ void thread_manager::worker_main(int w) {
     const std::uint64_t now = tsc_clock::now();
     me.counters.func_ticks.fetch_add(now - stamp, std::memory_order_relaxed);
     stamp = now;
+    // Heartbeat: reuses the tsc read above, so liveness costs one relaxed
+    // store per scheduler round. Parked workers still beat every
+    // idle_park_us.
+    if (me.heartbeat != nullptr)
+      me.heartbeat->beat_ticks.store(now, std::memory_order_relaxed);
   };
 
   bool had_work = true;
@@ -394,6 +418,14 @@ void thread_manager::run_phase(int w, task* t) {
   tl_task = t;
   const std::uint64_t t0 = tsc_clock::now();
 
+  // Publish the in-flight phase for the stall watchdog: task id first, then
+  // the start stamp that marks the slot occupied (readers treat
+  // phase_start_ticks != 0 as "task_id is valid").
+  if (me.heartbeat != nullptr) {
+    me.heartbeat->task_id.store(t->id(), std::memory_order_relaxed);
+    me.heartbeat->phase_start_ticks.store(t0, std::memory_order_release);
+  }
+
   // The gap since the previous phase on this worker is that slot's
   // management overhead (scheduling, queue operations, idle/park time) —
   // the distribution behind Eq. 3's mean.
@@ -413,6 +445,10 @@ void thread_manager::run_phase(int w, task* t) {
   const std::uint64_t dt = t1 - t0;
   tl_task = nullptr;
   me.last_phase_end_ticks.store(t1, std::memory_order_relaxed);
+  if (me.heartbeat != nullptr) {
+    me.heartbeat->phase_start_ticks.store(0, std::memory_order_release);
+    me.heartbeat->beat_ticks.store(t1, std::memory_order_relaxed);
+  }
 
   me.counters.exec_ticks.fetch_add(dt, std::memory_order_relaxed);
   me.counters.phases_executed.fetch_add(1, std::memory_order_relaxed);
@@ -630,6 +666,51 @@ void thread_manager::register_counters() {
           "trace events overwritten by ring wraparound (0 unless tracing "
           "outran GRAN_TRACE_BUF)",
           [] { return static_cast<double>(perf::tracer::instance().total_dropped()); });
+  reg.add("/threads/count/instantaneous/starving", counter_kind::gauge,
+          "workers whose last scheduler round found no work",
+          [this] { return static_cast<double>(starving_workers()); });
+  reg.add("/threads/count/instantaneous/queued", counter_kind::gauge,
+          "tasks enqueued and not yet picked up by a worker", [this] {
+            return static_cast<double>(std::max<std::int64_t>(0, queued_tasks()));
+          });
+
+  // Stall-watchdog incident totals (perf/watchdog.hpp). Process-global so a
+  // stall detected in one measurement region stays visible after the
+  // telemetry session restarts; not cleared by reset_counters.
+  reg.add("/threads/count/stall-stuck", counter_kind::monotonic,
+          "watchdog incidents: a phase exceeded the stuck threshold", [] {
+            return static_cast<double>(
+                perf::stall_stats::instance().stuck.load(std::memory_order_relaxed));
+          });
+  reg.add("/threads/count/stall-starved", counter_kind::monotonic,
+          "watchdog incidents: starving workers with queued work not flowing",
+          [] {
+            return static_cast<double>(perf::stall_stats::instance().starved.load(
+                std::memory_order_relaxed));
+          });
+  reg.add("/threads/count/stall-flatline", counter_kind::monotonic,
+          "watchdog incidents: tasks alive but nothing executing (suspected "
+          "deadlock)",
+          [] {
+            return static_cast<double>(perf::stall_stats::instance().flatline.load(
+                std::memory_order_relaxed));
+          });
+  reg.add("/threads/watchdog/heartbeat-age-max-ns", counter_kind::gauge,
+          "age of the stalest worker heartbeat, ns", [this] {
+            auto& board = perf::heartbeat_board::instance();
+            const std::uint64_t now = tsc_clock::now();
+            double max_age = 0;
+            for (int w = 0; w < num_workers(); ++w) {
+              const perf::heartbeat_slot* slot = board.slot(w);
+              if (slot == nullptr) break;
+              const std::uint64_t beat =
+                  slot->beat_ticks.load(std::memory_order_relaxed);
+              if (beat == 0 || now <= beat) continue;
+              max_age = std::max(
+                  max_age, static_cast<double>(tsc_clock::to_ns(now - beat)));
+            }
+            return max_age;
+          });
 
   // Distribution counters: log2-bucketed histograms of per-task values,
   // exposed as percentile/mean/count gauges (docs/COUNTERS.md). The spread
@@ -655,6 +736,8 @@ void thread_manager::register_counters() {
       {"/threads/histogram/task-overhead", overhead_snap,
        "per-slot overhead (non-exec gap between phases)"},
   };
+  auto& hreg = perf::histogram_registry::instance();
+  hreg.remove_prefix("/threads");
   for (const auto& h : histograms) {
     const std::string base = h.base;
     const std::string what = h.what;
@@ -668,6 +751,10 @@ void thread_manager::register_counters() {
             [snap = h.snap] { return snap().mean(); });
     reg.add(base + "/count", counter_kind::monotonic, "samples in " + what,
             [snap = h.snap] { return static_cast<double>(snap().count); });
+    // Raw-snapshot source for windowed telemetry: interval percentiles need
+    // the bucket structure (histogram_snapshot::snapshot_delta), which the
+    // scalar gauges above cannot provide.
+    hreg.add(base, h.snap);
   }
 
   // Per-worker instances of the headline counters.
@@ -729,11 +816,23 @@ void thread_manager::register_counters() {
             "task-duration samples on this worker", [wd] {
               return static_cast<double>(wd->hist_task_duration.count());
             });
+    reg.add(inst + "/watchdog/heartbeat-age-ns", counter_kind::gauge,
+            "age of this worker's last heartbeat, ns", [wd] {
+              if (wd->heartbeat == nullptr) return -1.0;
+              const std::uint64_t beat =
+                  wd->heartbeat->beat_ticks.load(std::memory_order_relaxed);
+              const std::uint64_t now = tsc_clock::now();
+              if (beat == 0 || now <= beat) return 0.0;
+              return static_cast<double>(tsc_clock::to_ns(now - beat));
+            });
+    hreg.add(inst + "/histogram/task-duration",
+             [wd] { return wd->hist_task_duration.snap(); });
   }
 }
 
 void thread_manager::unregister_counters() {
   perf::registry::instance().remove_prefix("/threads");
+  perf::histogram_registry::instance().remove_prefix("/threads");
 }
 
 // --- this_task -------------------------------------------------------------

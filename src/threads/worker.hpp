@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "perf/heartbeat.hpp"
 #include "perf/histogram.hpp"
 #include "queues/dual_queue.hpp"
 #include "util/cacheline.hpp"
@@ -89,6 +90,11 @@ struct worker_data {
   // This worker's trace lane; nullptr whenever tracing was disabled at
   // manager construction (perf/trace.hpp). Not owned.
   perf::trace_ring* trace = nullptr;
+
+  // This worker's heartbeat slot on the process-global board
+  // (perf/heartbeat.hpp); nullptr when the worker index exceeds the board's
+  // capacity. Not owned. Stamped from the scheduler loop and run_phase.
+  perf::heartbeat_slot* heartbeat = nullptr;
 
   int index = -1;
   // Dense NUMA/locality domain from the pin plan (or the even spread when

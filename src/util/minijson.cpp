@@ -1,0 +1,316 @@
+#include "util/minijson.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <utility>
+
+namespace gran {
+
+namespace {
+
+void encode_utf8(unsigned cp, std::string& out) {
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+}  // namespace
+
+class json_parser {
+ public:
+  json_parser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<json_value> parse() {
+    json_value v;
+    if (!parse_value(v)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after document");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  void fail(const std::string& why) {
+    if (error_ && error_->empty())
+      *error_ = "offset " + std::to_string(pos_) + ": " + why;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word, std::size_t n) {
+    if (text_.compare(pos_, n, word) != 0) {
+      fail("invalid literal");
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  bool parse_value(json_value& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    switch (text_[pos_]) {
+      case 'n':
+        out.kind_ = json_value::kind::null;
+        return literal("null", 4);
+      case 't':
+        out.kind_ = json_value::kind::boolean;
+        out.bool_ = true;
+        return literal("true", 4);
+      case 'f':
+        out.kind_ = json_value::kind::boolean;
+        out.bool_ = false;
+        return literal("false", 5);
+      case '"':
+        out.kind_ = json_value::kind::string;
+        return parse_string(out.string_);
+      case '[':
+        return parse_array(out);
+      case '{':
+        return parse_object(out);
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_number(json_value& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    }
+    const std::string tok = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (tok.empty() || end != tok.c_str() + tok.size()) {
+      pos_ = start;
+      fail("invalid number");
+      return false;
+    }
+    out.kind_ = json_value::kind::number;
+    out.number_ = v;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+        return false;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        ++pos_;
+        continue;
+      }
+      if (pos_ + 1 >= text_.size()) break;
+      const char esc = text_[pos_ + 1];
+      pos_ += 2;
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!parse_hex4(cp)) return false;
+          // Combine a surrogate pair when one follows; otherwise keep the
+          // lone surrogate as-is (replacement is not our job).
+          if (cp >= 0xD800 && cp <= 0xDBFF &&
+              text_.compare(pos_, 2, "\\u") == 0) {
+            const std::size_t save = pos_;
+            pos_ += 2;
+            unsigned lo = 0;
+            if (!parse_hex4(lo)) return false;
+            if (lo >= 0xDC00 && lo <= 0xDFFF)
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            else
+              pos_ = save;
+          }
+          encode_utf8(cp, out);
+          break;
+        }
+        default:
+          pos_ -= 2;
+          fail("invalid escape sequence");
+          return false;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool parse_hex4(unsigned& out) {
+    if (pos_ + 4 > text_.size()) {
+      fail("truncated \\u escape");
+      return false;
+    }
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      unsigned digit;
+      if (c >= '0' && c <= '9')
+        digit = static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        digit = static_cast<unsigned>(c - 'a') + 10;
+      else if (c >= 'A' && c <= 'F')
+        digit = static_cast<unsigned>(c - 'A') + 10;
+      else {
+        fail("invalid \\u escape");
+        return false;
+      }
+      out = (out << 4) | digit;
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool parse_array(json_value& out) {
+    out.kind_ = json_value::kind::array;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      json_value elem;
+      if (!parse_value(elem)) return false;
+      out.array_.push_back(std::move(elem));
+      skip_ws();
+      if (pos_ >= text_.size()) break;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      fail("expected ',' or ']' in array");
+      return false;
+    }
+    fail("unterminated array");
+    return false;
+  }
+
+  bool parse_object(json_value& out) {
+    out.kind_ = json_value::kind::object;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        fail("expected string key in object");
+        return false;
+      }
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        fail("expected ':' after object key");
+        return false;
+      }
+      ++pos_;
+      json_value member;
+      if (!parse_value(member)) return false;
+      out.object_[std::move(key)] = std::move(member);
+      skip_ws();
+      if (pos_ >= text_.size()) break;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      fail("expected ',' or '}' in object");
+      return false;
+    }
+    fail("unterminated object");
+    return false;
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+std::optional<json_value> json_value::parse(const std::string& text,
+                                            std::string* error) {
+  if (error) error->clear();
+  return json_parser(text, error).parse();
+}
+
+const json_value* json_value::find(const std::string& key) const {
+  if (kind_ != kind::object) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+double json_value::number_at(const std::string& key, double def) const {
+  const json_value* v = find(key);
+  return v && v->is_number() ? v->number_ : def;
+}
+
+std::string json_value::string_at(const std::string& key,
+                                  const std::string& def) const {
+  const json_value* v = find(key);
+  return v && v->is_string() ? v->string_ : def;
+}
+
+}  // namespace gran

@@ -1,0 +1,67 @@
+// Minimal recursive-descent JSON parser — just enough to consume the
+// telemetry JSONL stream (tools/gran_top, tests) without an external
+// dependency. Parses the full JSON grammar (null/bool/number/string/
+// array/object, \uXXXX escapes to UTF-8); numbers are doubles.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gran {
+
+class json_value {
+ public:
+  enum class kind { null, boolean, number, string, array, object };
+
+  // Strict parse of a complete document (trailing garbage is an error).
+  // std::nullopt on malformed input; `error` (when non-null) gets
+  // "offset N: why".
+  static std::optional<json_value> parse(const std::string& text,
+                                         std::string* error = nullptr);
+
+  kind type() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == kind::null; }
+  bool is_object() const noexcept { return kind_ == kind::object; }
+  bool is_array() const noexcept { return kind_ == kind::array; }
+  bool is_number() const noexcept { return kind_ == kind::number; }
+  bool is_string() const noexcept { return kind_ == kind::string; }
+
+  bool as_bool(bool def = false) const noexcept {
+    return kind_ == kind::boolean ? bool_ : def;
+  }
+  double as_number(double def = 0) const noexcept {
+    return kind_ == kind::number ? number_ : def;
+  }
+  const std::string& as_string() const noexcept { return string_; }
+
+  const std::vector<json_value>& items() const noexcept { return array_; }
+  std::size_t size() const noexcept {
+    return kind_ == kind::array ? array_.size() : object_.size();
+  }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const json_value* find(const std::string& key) const;
+  // Convenience accessors over find().
+  double number_at(const std::string& key, double def = 0) const;
+  std::string string_at(const std::string& key,
+                        const std::string& def = {}) const;
+
+  const std::map<std::string, json_value>& members() const noexcept {
+    return object_;
+  }
+
+ private:
+  friend class json_parser;
+
+  kind kind_ = kind::null;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<json_value> array_;
+  std::map<std::string, json_value> object_;
+};
+
+}  // namespace gran

@@ -8,6 +8,7 @@
 #include <string>
 #include <thread>
 
+#include "perf/heartbeat.hpp"
 #include "sync/latch.hpp"
 #include "threads/runtime.hpp"
 #include "threads/thread_manager.hpp"
@@ -430,6 +431,49 @@ TEST(ThreadManager, InstantaneousQueueGauges) {
   EXPECT_EQ(reg.value_or("/threads/count/instantaneous/alive", -1), 0.0);
 }
 
+
+TEST(ThreadManager, HeartbeatCountersAndBoardAttached) {
+  thread_manager tm(test_config(2));
+  auto& reg = perf::registry::instance();
+  EXPECT_EQ(perf::heartbeat_board::instance().active_workers(), 2);
+
+  for (int i = 0; i < 200; ++i)
+    tm.spawn([] {
+      volatile double x = 1.0;
+      for (int k = 0; k < 1000; ++k) x = x * 1.0000001 + 0.1;
+    });
+  tm.wait_idle();
+
+  // Workers just finished a scheduler round: every heartbeat is recent and
+  // the max-age gauge reflects the staleness of the oldest one.
+  const double max_age = reg.value_or("/threads/watchdog/heartbeat-age-max-ns", -1);
+  EXPECT_GE(max_age, 0.0);
+  EXPECT_LT(max_age, 5e9);
+  for (int w = 0; w < tm.num_workers(); ++w) {
+    const double age = reg.value_or(
+        "/threads{worker#" + std::to_string(w) + "}/watchdog/heartbeat-age-ns", -2);
+    EXPECT_GE(age, 0.0) << "worker " << w;
+  }
+
+  // Stall counters are registered (and, in a healthy run, untouched since
+  // the last reset).
+  EXPECT_GE(reg.value_or("/threads/count/stall-stuck", -1), 0.0);
+  EXPECT_GE(reg.value_or("/threads/count/stall-starved", -1), 0.0);
+  EXPECT_GE(reg.value_or("/threads/count/stall-flatline", -1), 0.0);
+  // The starving gauge exists; after the drain the idle workers report as
+  // starving (no work to find), so it reads in [0, num_workers].
+  const double starving = reg.value_or("/threads/count/instantaneous/starving", -1);
+  EXPECT_GE(starving, 0.0);
+  EXPECT_LE(starving, static_cast<double>(tm.num_workers()));
+}
+
+TEST(ThreadManager, HeartbeatBoardDetachedAfterStop) {
+  {
+    thread_manager tm(test_config(2));
+    EXPECT_EQ(perf::heartbeat_board::instance().active_workers(), 2);
+  }
+  EXPECT_EQ(perf::heartbeat_board::instance().active_workers(), 0);
+}
 
 TEST(ThreadManager, SpawnMoveOnlyBody) {
   thread_manager tm(test_config(2));
