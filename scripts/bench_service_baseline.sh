@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Records the task-service operating-point baseline (sustained throughput
+# and p99 sojourn for a fixed open-loop cell) into results/BENCH_service.json,
+# building the bench if needed.
+#
+# The cell is sized for 1-CPU CI runners and held well below saturation
+# (2k req/s x 20 us grain on one worker ~= 4% utilization), so under the
+# block policy achieved must track offered with zero rejections. Gates,
+# both enforced by the bench itself when a baseline exists:
+#   * sustained throughput (achieved/s) must not regress more than 10%;
+#   * p99 sojourn must stay under 3x the recorded baseline — generous on
+#     purpose: log2-bucket resolution plus shared-runner scheduling noise
+#     make tight latency gates flaky, while a broken ingress path moves
+#     p99 by orders of magnitude.
+# The bench exits non-zero on either breach, then the baseline is refreshed.
+#
+#   scripts/bench_service_baseline.sh [--rate=N] [--grain=NS] ...
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j --target service_load >/dev/null
+
+mkdir -p results
+extra=()
+if [[ -f results/BENCH_service.json ]]; then
+  extra+=(--baseline=results/BENCH_service.json)
+fi
+./build/bench/service_load --duration=2 --rate=2000 --grain=20000 \
+  --workers=1 --clients=1 --policy=block --seed=3 \
+  --json=results/BENCH_service.json.new \
+  "${extra[@]}" "$@" | tee results/service_load.txt
+mv results/BENCH_service.json.new results/BENCH_service.json

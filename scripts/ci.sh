@@ -93,6 +93,25 @@ echo "=== ci: lazy-split smoke ==="
   || { echo "lazy-split smoke: sim leg missing" >&2; exit 1; }
 echo "lazy-split smoke: native + sim ok"
 
+echo "=== ci: service smoke ==="
+# Task-service ingress end to end, sized for 1-CPU runners: a short open-loop
+# run (fixed seed) through the live runtime and through the DES mirror, its
+# report must carry the sojourn-percentile line, and the streamed telemetry
+# must validate with the interval.service section present.
+./build/bench/service_load --duration=0.5 --rate=2000 --grain=20000 \
+    --workers=1 --clients=1 --seed=3 --mode=both \
+    --metrics-out="$trace_tmp/service.jsonl" --metrics-interval-us=100000 \
+    > "$trace_tmp/service.txt"
+grep -E "sojourn p50/p95/p99 = " "$trace_tmp/service.txt" >/dev/null \
+  || { echo "service smoke: no sojourn-percentile line" >&2; \
+       cat "$trace_tmp/service.txt" >&2; exit 1; }
+grep -q '\[sim\]' "$trace_tmp/service.txt" \
+  || { echo "service smoke: sim leg missing" >&2; exit 1; }
+./build/tools/gran_top --check="$trace_tmp/service.jsonl"
+grep -q '"service":{' "$trace_tmp/service.jsonl" \
+  || { echo "service smoke: no interval.service section in JSONL" >&2; exit 1; }
+echo "service smoke: native + sim + telemetry ok"
+
 echo "=== ci: tsan ==="
 scripts/tsan_check.sh
 

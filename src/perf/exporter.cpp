@@ -185,6 +185,21 @@ void write_prometheus_text(std::ostream& os, const window_snapshot& w) {
                      w.task_overhead_p95_ns);
   write_window_gauge(os, "task_overhead_p99_ns", "interval task overhead p99",
                      w.task_overhead_p99_ns);
+  // Service-ingress gauges only exist while a task_service is registered —
+  // absent families are how scrapers tell batch runs from service runs.
+  if (w.has_service) {
+    write_window_gauge(os, "sojourn_p50_ns", "interval request sojourn p50",
+                       w.sojourn_p50_ns);
+    write_window_gauge(os, "sojourn_p95_ns", "interval request sojourn p95",
+                       w.sojourn_p95_ns);
+    write_window_gauge(os, "sojourn_p99_ns", "interval request sojourn p99",
+                       w.sojourn_p99_ns);
+    write_window_gauge(os, "rejection_rate",
+                       "rejected/submitted over the window", w.rejection_rate);
+    write_window_gauge(os, "service_backlog",
+                       "requests accepted and not yet completed",
+                       w.service_backlog);
+  }
 }
 
 bool validate_prometheus_text(std::istream& is, std::string* error) {
@@ -307,6 +322,24 @@ void write_window_jsonl(std::ostream& os, const window_snapshot& w) {
   write_percentiles(os, "task_overhead", w.task_overhead_p50_ns,
                     w.task_overhead_p95_ns, w.task_overhead_p99_ns,
                     w.task_overhead_mean_ns, overhead_count);
+  if (w.has_service) {
+    // Optional section: present only while a task_service is registered.
+    // Consumers (gran_top) treat its absence as "batch run", not an error.
+    os << ",\"service\":{\"accepted_per_s\":";
+    write_number(os, w.accepted_per_s);
+    os << ",\"rejected_per_s\":";
+    write_number(os, w.rejected_per_s);
+    os << ",\"completed_per_s\":";
+    write_number(os, w.completed_per_s);
+    os << ",\"rejection_rate\":";
+    write_number(os, w.rejection_rate);
+    os << ",\"backlog\":";
+    write_number(os, w.service_backlog);
+    os << ",";
+    write_percentiles(os, "sojourn", w.sojourn_p50_ns, w.sojourn_p95_ns,
+                      w.sojourn_p99_ns, w.sojourn_mean_ns, w.sojourn_count);
+    os << "}";
+  }
   os << "}";
 
   os << ",\"counters\":{";

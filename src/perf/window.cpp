@@ -168,6 +168,27 @@ window_snapshot window_aggregator::tick() {
     w.task_overhead_mean_ns = h->delta.mean();
   }
 
+  // Service-ingress signals, present only while a task_service is
+  // registered (the /service prefix matches nothing otherwise).
+  if (const window_metric* m = w.find("/service/count/submitted")) {
+    w.has_service = true;
+    const double d_submitted = m->delta;
+    const double d_rejected = w.delta_or("/service/count/rejected", 0);
+    w.accepted_per_s = w.rate_or("/service/count/accepted", 0);
+    w.rejected_per_s = w.rate_or("/service/count/rejected", 0);
+    w.completed_per_s = w.rate_or("/service/count/completed", 0);
+    w.rejection_rate = d_submitted > 0 ? d_rejected / d_submitted : 0.0;
+    w.service_backlog = w.value_or("/service/backlog", 0);
+  }
+  if (const window_histogram* h = w.find_histogram("/service/histogram/sojourn")) {
+    w.has_service = true;
+    w.sojourn_p50_ns = h->delta.percentile(50);
+    w.sojourn_p95_ns = h->delta.percentile(95);
+    w.sojourn_p99_ns = h->delta.percentile(99);
+    w.sojourn_mean_ns = h->delta.mean();
+    w.sojourn_count = h->delta.count;
+  }
+
   // Per-worker rows from the instance counters.
   std::map<int, worker_window> by_worker;
   for (const auto& m : w.metrics) {

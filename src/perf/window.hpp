@@ -35,8 +35,11 @@ namespace gran::perf {
 struct window_options {
   // Counter-path prefixes included in the window (registry + histogram
   // sources). Unlike the sampler's frozen column set, the set is re-resolved
-  // every tick, so late-registered counters join automatically.
-  std::vector<std::string> prefixes{"/threads"};
+  // every tick, so late-registered counters join automatically. /service is
+  // included by default so a task_service (service/service.hpp) surfaces in
+  // the stream the moment it registers; when none exists the prefix simply
+  // matches nothing.
+  std::vector<std::string> prefixes{"/threads", "/service"};
 };
 
 struct window_metric {
@@ -89,6 +92,17 @@ struct window_snapshot {
          task_duration_p99_ns = 0, task_duration_mean_ns = 0;
   double task_overhead_p50_ns = 0, task_overhead_p95_ns = 0,
          task_overhead_p99_ns = 0, task_overhead_mean_ns = 0;
+
+  // Service-ingress interval signals (service/service.hpp). Populated only
+  // while a task_service has its /service counters registered; has_service
+  // gates the exporters' optional service section.
+  bool has_service = false;
+  double sojourn_p50_ns = 0, sojourn_p95_ns = 0, sojourn_p99_ns = 0,
+         sojourn_mean_ns = 0;
+  std::uint64_t sojourn_count = 0;       // sojourn samples inside the window
+  double accepted_per_s = 0, rejected_per_s = 0, completed_per_s = 0;
+  double rejection_rate = 0;             // Δrejected / Δsubmitted, 0 when idle
+  double service_backlog = 0;            // gauge at window end
 
   std::vector<worker_window> workers;  // sorted by worker index
 

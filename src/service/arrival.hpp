@@ -1,0 +1,151 @@
+// Deterministic open-loop arrival processes for the service ingress.
+//
+// The paper's benchmarks are batch-shaped (spawn N, join); a service is
+// driven by an *arrival process*, and the grain/overhead trade-off then
+// shows up as sojourn latency under load rather than makespan ("The
+// Tiny-Tasks Granularity Trade-Off", PAPERS.md). This header generates the
+// same request stream for every consumer — the native load generator
+// (bench/service_load), the discrete-event mirror (sim/service_sim.hpp),
+// and the tests — from one seeded counter-based RNG (util/rng.hpp), so
+// native and simulated runs see the *identical* sequence of (time, grain)
+// pairs and accepted-count identities can hold by construction.
+//
+// Two processes:
+//   * poisson — exponential inter-arrival times at `rate_per_s`
+//     (inverse-CDF over mix64 draws);
+//   * mmpp    — a 2-state Markov-modulated Poisson process: a background
+//     state and a burst state whose rate is `burst_factor`× higher. State
+//     dwell times are exponential; the background rate is derated so the
+//     long-run mean rate still equals `rate_per_s`. This is the standard
+//     bursty-traffic model — same mean load, much worse tail behaviour.
+//
+// Per-request service demand ("grain") is sampled log-uniformly in
+// [grain_min_ns, grain_max_ns]; equal bounds give a fixed grain.
+//
+// Header-only on purpose: gran_sim consumes it without linking the service
+// library.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gran::service {
+
+enum class arrival_kind { poisson, mmpp };
+
+inline const char* to_string(arrival_kind k) noexcept {
+  return k == arrival_kind::poisson ? "poisson" : "mmpp";
+}
+
+struct arrival_config {
+  arrival_kind kind = arrival_kind::poisson;
+  double rate_per_s = 10'000;    // long-run mean arrival rate
+  std::uint64_t seed = 1;
+
+  // Grain mix: per-request service demand, log-uniform in [min, max] ns.
+  double grain_min_ns = 2'000;
+  double grain_max_ns = 2'000;
+
+  // MMPP shape (ignored for poisson): the burst state runs at
+  // burst_factor × the background rate, occupies burst_fraction of time in
+  // the long run, and has exponentially distributed dwells with mean
+  // burst_dwell_s.
+  double burst_factor = 8.0;
+  double burst_fraction = 0.1;
+  double burst_dwell_s = 0.01;
+};
+
+struct arrival_event {
+  double t_s = 0;               // arrival time from stream start
+  std::uint64_t grain_ns = 0;   // requested service demand
+  std::uint64_t seq = 0;        // 0-based position in the stream
+};
+
+namespace detail {
+
+// n-th unit draw of stream `stream` under `seed`; stateless and
+// order-insensitive, so generation is reproducible across consumers.
+inline double unit_draw(std::uint64_t seed, std::uint64_t stream,
+                        std::uint64_t n) noexcept {
+  return mix64_to_unit(mix64_combine(mix64_combine(seed, stream), n));
+}
+
+// Exponential variate with mean 1/rate; u is clamped away from 0 so the
+// log never overflows.
+inline double exponential(double u, double rate) noexcept {
+  if (u < 1e-12) u = 1e-12;
+  return -std::log(u) / rate;
+}
+
+}  // namespace detail
+
+// Generates every arrival with t_s < horizon_s, in time order. Complexity
+// and memory are O(arrivals); callers pick horizons accordingly.
+inline std::vector<arrival_event> generate_arrivals(const arrival_config& cfg,
+                                                    double horizon_s) {
+  std::vector<arrival_event> out;
+  if (cfg.rate_per_s <= 0 || horizon_s <= 0) return out;
+  out.reserve(static_cast<std::size_t>(cfg.rate_per_s * horizon_s * 1.1) + 16);
+
+  // Background/burst rates chosen so the long-run mean equals rate_per_s:
+  // mean = (1 - f) * r_bg + f * burst_factor * r_bg.
+  const double f =
+      cfg.kind == arrival_kind::mmpp
+          ? std::min(0.95, std::max(0.0, cfg.burst_fraction))
+          : 0.0;
+  const double bg_rate =
+      cfg.kind == arrival_kind::mmpp
+          ? cfg.rate_per_s / (1.0 - f + f * std::max(1.0, cfg.burst_factor))
+          : cfg.rate_per_s;
+  const double burst_rate = bg_rate * std::max(1.0, cfg.burst_factor);
+  // Dwell means consistent with the stationary fraction f.
+  const double burst_dwell = std::max(1e-6, cfg.burst_dwell_s);
+  const double bg_dwell = f > 0 ? burst_dwell * (1.0 - f) / f : horizon_s * 2;
+
+  const double log_ratio =
+      cfg.grain_max_ns > cfg.grain_min_ns && cfg.grain_min_ns > 0
+          ? std::log(cfg.grain_max_ns / cfg.grain_min_ns)
+          : 0.0;
+
+  double t = 0;
+  bool burst = false;
+  double state_end = horizon_s;  // poisson: one background "state"
+  std::uint64_t n_arrival = 0, n_grain = 0, n_state = 0;
+  if (cfg.kind == arrival_kind::mmpp)
+    state_end = detail::exponential(detail::unit_draw(cfg.seed, 2, n_state++),
+                                    1.0 / bg_dwell);
+
+  while (t < horizon_s) {
+    const double rate = burst ? burst_rate : bg_rate;
+    const double dt =
+        detail::exponential(detail::unit_draw(cfg.seed, 0, n_arrival++), rate);
+    // State change before the candidate arrival: move to the boundary and
+    // resample there (exponentials are memoryless, so discarding the
+    // partial inter-arrival is exact).
+    if (cfg.kind == arrival_kind::mmpp && t + dt >= state_end) {
+      t = state_end;
+      burst = !burst;
+      state_end =
+          t + detail::exponential(detail::unit_draw(cfg.seed, 2, n_state++),
+                                  1.0 / (burst ? burst_dwell : bg_dwell));
+      continue;
+    }
+    t += dt;
+    if (t >= horizon_s) break;
+
+    arrival_event ev;
+    ev.t_s = t;
+    ev.seq = out.size();
+    const double u = detail::unit_draw(cfg.seed, 1, n_grain++);
+    ev.grain_ns = static_cast<std::uint64_t>(
+        log_ratio > 0 ? cfg.grain_min_ns * std::exp(u * log_ratio)
+                      : cfg.grain_min_ns);
+    out.push_back(ev);
+  }
+  return out;
+}
+
+}  // namespace gran::service

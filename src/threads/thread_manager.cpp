@@ -531,6 +531,7 @@ void thread_manager::reset_counters() {
   }
   low_queue_.reset_counts();
   external_spawns_.store(0, std::memory_order_relaxed);
+  external_rejected_.store(0, std::memory_order_relaxed);
 }
 
 void thread_manager::register_counters() {
@@ -636,6 +637,16 @@ void thread_manager::register_counters() {
           "tasks created via spawn/spawn_on (worker + external threads); "
           "cross-checks the trace's task_enqueue event count",
           [tot] { return static_cast<double>(tot().tasks_spawned); });
+  // The external-spawn lane's own counters: spawned already folds external
+  // spawns into its total, but saturation analysis of a service ingress
+  // needs the lane isolated (and rejected never reaches spawn at all).
+  reg.add("/threads/count/external-spawns", counter_kind::monotonic,
+          "spawn/spawn_on calls from non-worker threads (the external lane)",
+          [this] { return static_cast<double>(external_spawns()); });
+  reg.add("/threads/count/external-rejected", counter_kind::monotonic,
+          "external submissions refused by admission control before spawn "
+          "(service/service.hpp reject policy)",
+          [this] { return static_cast<double>(external_rejected()); });
   reg.add("/threads/count/splits", counter_kind::monotonic,
           "lazy splittable-range splits (back half re-enqueued as a new task)",
           [tot] { return static_cast<double>(tot().tasks_split); });

@@ -151,6 +151,22 @@ class thread_manager {
     return queued_.load(std::memory_order_relaxed);
   }
 
+  // Spawns that arrived through the external lane (spawn/spawn_on from a
+  // non-worker thread) and external submissions an admission controller
+  // turned away before they became tasks (service/service.hpp). Exposed as
+  // /threads/count/external-{spawns,rejected}.
+  std::uint64_t external_spawns() const noexcept {
+    return external_spawns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t external_rejected() const noexcept {
+    return external_rejected_.load(std::memory_order_relaxed);
+  }
+  // Called by the ingress layer when admission control refuses an external
+  // submission (the request never reaches spawn).
+  void note_external_rejected() noexcept {
+    external_rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   // Split bookkeeping (algo/splittable.hpp): bumps the calling worker's
   // tasks_split cell and emits the task_split trace event (arg = the parent
   // task's id, arg2 = the split point, saturated to 32 bits). The runner
@@ -229,6 +245,8 @@ class thread_manager {
   std::atomic<std::uint64_t> next_home_{0};  // round-robin for external spawns
   // Spawns from non-worker threads (worker spawns use the per-worker cell).
   std::atomic<std::uint64_t> external_spawns_{0};
+  // External submissions refused by admission control (note_external_rejected).
+  std::atomic<std::uint64_t> external_rejected_{0};
 
   // Workers in the starving state (see starving_workers()). Own line: bumped
   // on starvation edges, read from the splittable hot loop on every poll.

@@ -71,6 +71,22 @@ std::string check_line(const std::string& line) {
         if (const json_value* v = h->find(sub); !v || !v->is_number())
           return std::string(key) + " missing numeric field \"" + sub + "\"";
     }
+    // Optional service section (present only when a task_service ran):
+    // absent is fine — no schema break for batch streams — but when present
+    // it must be complete.
+    if (const json_value* svc = interval->find("service")) {
+      if (!svc->is_object()) return "interval \"service\" is not an object";
+      for (const char* key : {"accepted_per_s", "rejected_per_s",
+                              "completed_per_s", "rejection_rate", "backlog"})
+        if (const json_value* v = svc->find(key); !v || !v->is_number())
+          return std::string("service missing numeric field \"") + key + "\"";
+      const json_value* soj = svc->find("sojourn");
+      if (!soj || !soj->is_object())
+        return "service missing object field \"sojourn\"";
+      for (const char* sub : {"p50_ns", "p95_ns", "p99_ns", "mean_ns", "count"})
+        if (const json_value* v = soj->find(sub); !v || !v->is_number())
+          return std::string("sojourn missing numeric field \"") + sub + "\"";
+    }
     for (const char* key : {"counters", "rates"})
       if (const json_value* v = doc->find(key); !v || !v->is_object())
         return std::string("missing object field \"") + key + "\"";
@@ -189,7 +205,22 @@ void render(const json_value& w, const std::deque<std::string>& incidents,
     if (const json_value* o = interval->find("task_overhead"))
       os << "  ovh p50=" << gran::format_duration_ns(o->number_at("p50_ns"));
   }
-  os << "\n\n";
+  os << "\n";
+  // Second header line for service runs; batch streams (no service section)
+  // render exactly as before.
+  if (const json_value* svc = interval ? interval->find("service") : nullptr) {
+    os << "service: acc/s=" << fmt_rate(svc->number_at("accepted_per_s"))
+       << "  rej=" << fmt_pct(svc->number_at("rejection_rate"))
+       << "  backlog="
+       << static_cast<std::int64_t>(svc->number_at("backlog"));
+    if (const json_value* soj = svc->find("sojourn"))
+      os << "  soj p50/p95/p99="
+         << gran::format_duration_ns(soj->number_at("p50_ns")) << "/"
+         << gran::format_duration_ns(soj->number_at("p95_ns")) << "/"
+         << gran::format_duration_ns(soj->number_at("p99_ns"));
+    os << "\n";
+  }
+  os << "\n";
 
   const json_value* workers = w.find("workers");
   if (workers && workers->size() > 0) {
