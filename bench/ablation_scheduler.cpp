@@ -8,7 +8,9 @@
 // balancing), work-stealing pays its spawn-time conversion at fine grains,
 // priority-local tracks the better of the two.
 //
-// --mode=native runs the same comparison on this host's real runtime.
+// --mode=native runs the same comparison on this host's real runtime, with
+// channel-steal (message-passing stealing, no simulator counterpart) as a
+// fourth column.
 #include <iostream>
 
 #include "bench/fig_common.hpp"
@@ -26,11 +28,16 @@ int main(int argc, char** argv) {
     sim::sim_policy sim_policy;
     const char* native_policy;
   };
-  const std::vector<policy_case> policies = {
+  std::vector<policy_case> policies = {
       {"priority-local-fifo", sim::sim_policy::priority_local, "priority-local-fifo"},
       {"static-fifo", sim::sim_policy::static_fifo, "static-fifo"},
       {"work-stealing-lifo", sim::sim_policy::work_stealing, "work-stealing-lifo"},
   };
+  // Message-passing stealing exists only in the real runtime — the simulator
+  // has no channel model — so the fourth column is native-mode only.
+  if (opt.mode == "native")
+    policies.push_back(
+        {"channel-steal", sim::sim_policy::priority_local, "channel-steal"});
 
   fig_plan plan = make_plan(opt, "haswell", {16}, 50);
   const int cores = plan.cores.front();

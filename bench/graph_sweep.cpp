@@ -23,7 +23,8 @@
 //                      lower and 4/decade)
 //   --samples=N        repetitions per grain (default 3)
 //   --workers=N        native worker threads (default: all CPUs)
-//   --policy=NAME      native scheduling policy (default priority-local-fifo)
+//   --policy=NAME      native scheduling policy (default: GRAN_POLICY env,
+//                      then priority-local-fifo)
 //   --window=N         native construction window, rows (default 0 = none)
 //   --platform=NAME    sim platform (default haswell)  --cores=N (default: all)
 //   --csv=PREFIX       also write PREFIXgraph_sweep_<pattern>.csv
@@ -44,6 +45,7 @@
 #include "graph/spec.hpp"
 #include "perf/analysis.hpp"
 #include "perf/observability.hpp"
+#include "threads/policy.hpp"
 #include "sim/graph_sim.hpp"
 #include "sim/machine_model.hpp"
 #include "topo/topology.hpp"
@@ -146,8 +148,10 @@ int main(int argc, char** argv) {
   } else {
     cores = static_cast<int>(
         args.get_int("workers", topology::host().num_cpus()));
+    // Empty default: --policy wins, then GRAN_POLICY, then the paper's
+    // priority-local-fifo (resolved inside the thread manager).
     backend = std::make_unique<core::native_graph_backend>(
-        args.get("policy", "priority-local-fifo"),
+        resolve_policy_name(args.get("policy", "")),
         static_cast<std::size_t>(args.get_int("window", 0)));
   }
 

@@ -1,23 +1,30 @@
-// A/B micro-benchmark for the scheduler's work-stealing deque: the lock-free
-// Chase–Lev implementation (src/queues/chase_lev_deque.hpp) against the old
+// A/B/C micro-benchmark for the scheduler's work-transfer mechanisms: the
+// lock-free Chase–Lev deque (src/queues/chase_lev_deque.hpp), the old
 // mutex-protected std::deque it replaced (kept here, verbatim in spirit, as
-// the baseline).
+// the baseline), and the channel-steal request/delivery protocol
+// (src/threads/policy_channel_steal.hpp): a private deque plus per-thief
+// SPSC request and delivery rings with steal-half batching.
 //
 // Two measurements per implementation:
 //   * owner: single-thread push/pop round-trips — the policy's hot path when
 //     a worker spawns and immediately executes fine-grained tasks;
 //   * steal: one owner continuously pushing while N thieves steal — the
-//     contended path that sets fine-grain scalability.
+//     contended path that sets fine-grain scalability. For "channel" a
+//     steal is a request answered with a batch; the reported rate counts
+//     delivered items, the unit comparable with per-item deque steals.
 //
-//   --impl=chaselev|mutex|both   which deque(s) to run (default both)
+//   --impl=chaselev|mutex|channel|all   which to run (default all;
+//                                       "both" = chaselev+mutex, as before)
 //   --ops=N                      owner push/pop round-trips (default 5e6)
 //   --steal-ms=N                 duration of each steal phase (default 300)
 //   --thieves=a,b,c              thief counts (default 1,2,4)
 //   --json=PATH                  append machine-readable results
+#include <algorithm>
 #include <atomic>
 #include <deque>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <sstream>
@@ -26,6 +33,7 @@
 
 #include "perf/observability.hpp"
 #include "queues/chase_lev_deque.hpp"
+#include "queues/spsc_ring.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -115,6 +123,128 @@ double steal_throughput(Deque& d, int thieves, int ms) {
   return static_cast<double>(steals.load()) / s / 1e6;
 }
 
+// --- channel-steal protocol rig --------------------------------------------
+// One owner thread with a private (unsynchronized) deque; each thief has a
+// dedicated SPSC request ring and delivery ring toward the owner, mirroring
+// channel_steal_policy's token protocol: the thief keeps at most one request
+// outstanding, the owner answers with half its deque (capped at the ring
+// capacity) and announces the batch size with a release store the thief
+// acquires before draining.
+struct thief_lane {
+  spsc_ring<std::uint8_t> req{1};
+  spsc_ring<std::uint64_t> delivery{4096};
+  std::atomic<std::uint32_t> served{0};
+};
+
+// Owner-side: the private deque needs no atomics at all — this is the spawn
+// hot path message-passing stealing buys back.
+double channel_owner_throughput(std::uint64_t ops) {
+  std::deque<std::uint64_t> d;
+  stopwatch clock;
+  std::uint64_t done = 0;
+  while (done < ops) {
+    for (int i = 0; i < 8; ++i) d.push_back(done + static_cast<std::uint64_t>(i));
+    for (int i = 0; i < 8; ++i) {
+      (void)d.back();
+      d.pop_back();
+    }
+    done += 8;
+  }
+  const double s = clock.elapsed_s();
+  return static_cast<double>(2 * done) / s / 1e6;
+}
+
+double channel_steal_throughput(int thieves, int ms) {
+  std::vector<std::unique_ptr<thief_lane>> lanes;
+  for (int t = 0; t < thieves; ++t) lanes.push_back(std::make_unique<thief_lane>());
+  std::deque<std::uint64_t> d;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> received{0};
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(thieves));
+  for (int t = 0; t < thieves; ++t)
+    pool.emplace_back([&, t] {
+      thief_lane& lane = *lanes[static_cast<std::size_t>(t)];
+      std::uint64_t n = 0;
+      bool outstanding = false;
+      unsigned idle = 0;  // spin-then-yield, like the runtime's idle backoff
+      while (!stop.load(std::memory_order_acquire)) {
+        if (!outstanding) {
+          outstanding = lane.req.push(std::uint8_t{1});
+          continue;
+        }
+        const std::uint32_t batch = lane.served.load(std::memory_order_acquire);
+        if (batch == 0) {
+          // An announcement needs the owner to run; on an oversubscribed
+          // host spinning here just steals its timeslice.
+          if (++idle >= 64) std::this_thread::yield();
+          continue;
+        }
+        idle = 0;
+        for (std::uint32_t i = 0; i < batch; ++i) {
+          auto v = lane.delivery.pop();
+          if (v.has_value()) ++n;  // announced batches always arrive in full
+        }
+        lane.served.store(0, std::memory_order_relaxed);
+        outstanding = false;
+      }
+      received.fetch_add(n, std::memory_order_relaxed);
+    });
+
+  stopwatch clock;
+  std::uint64_t pushed = 0;
+  // Backlog bound: in the runtime task supply is finite; here it keeps the
+  // private deque (and the bench's memory) bounded while thieves wait for
+  // their timeslice.
+  constexpr std::size_t bound = 16384;
+  // Tokens the owner popped while its deque was empty; served next round
+  // (in the runtime this is the forward/decline path).
+  std::vector<bool> waiting(static_cast<std::size_t>(thieves), false);
+  while (clock.elapsed_s() * 1e3 < ms) {
+    while (d.size() < bound) {
+      d.push_back(pushed++);
+      if ((pushed & 7) == 0) {  // owner stays in the mix
+        d.pop_back();
+      }
+    }
+    // Cooperation point: serve every waiting request with half the deque.
+    for (std::size_t t = 0; t < lanes.size(); ++t) {
+      thief_lane& lane = *lanes[t];
+      if (!waiting[t] && lane.req.pop().has_value()) waiting[t] = true;
+      if (!waiting[t] || d.empty()) continue;
+      const std::size_t batch =
+          std::min({std::max<std::size_t>(1, d.size() / 2), d.size(),
+                    lane.delivery.capacity()});
+      for (std::size_t i = 0; i < batch; ++i) {
+        (void)lane.delivery.push(std::move(d.front()));
+        d.pop_front();
+      }
+      lane.served.store(static_cast<std::uint32_t>(batch),
+                        std::memory_order_release);
+      waiting[t] = false;
+    }
+    // An announced batch is useful only once its thief runs; on an
+    // oversubscribed host burning the rest of the quantum re-polling empty
+    // request rings would make the measurement quantum-bound, not
+    // protocol-bound. Hand the CPU over.
+    std::this_thread::yield();
+  }
+  const double s = clock.elapsed_s();
+  stop.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+  return static_cast<double>(received.load()) / s / 1e6;
+}
+
+void run_channel(std::uint64_t ops, int steal_ms,
+                 const std::vector<std::int64_t>& thieves,
+                 std::vector<result_row>& out) {
+  out.push_back({"channel", "owner", 0, channel_owner_throughput(ops)});
+  for (const std::int64_t t : thieves)
+    out.push_back({"channel", "steal", static_cast<int>(t),
+                   channel_steal_throughput(static_cast<int>(t), steal_ms)});
+}
+
 template <typename Deque>
 void run_impl(const std::string& name, std::uint64_t ops, int steal_ms,
               const std::vector<std::int64_t>& thieves,
@@ -137,21 +267,23 @@ int main(int argc, char** argv) {
   const cli_args args(argc, argv);
   perf::observability_session obs(perf::observability_session::options_from_cli(
       args, perf::observability_session::options_from_env()));
-  const std::string impl = args.get("impl", "both");
+  const std::string impl = args.get("impl", "all");
   const auto ops = static_cast<std::uint64_t>(args.get_int("ops", 5'000'000));
   const int steal_ms = static_cast<int>(args.get_int("steal-ms", 300));
   const std::vector<std::int64_t> thieves =
       args.get_int_list("thieves", {1, 2, 4});
 
-  std::cout << "Steal-deque throughput: Chase-Lev (lock-free) vs mutex deque\n";
+  std::cout << "Steal throughput: Chase-Lev vs mutex deque vs channel-steal\n";
   std::vector<result_row> rows;
-  if (impl == "chaselev" || impl == "both")
+  if (impl == "chaselev" || impl == "both" || impl == "all")
     run_impl<chase_lev_deque<std::uint64_t>>("chaselev", ops, steal_ms, thieves,
                                              rows);
-  if (impl == "mutex" || impl == "both")
+  if (impl == "mutex" || impl == "both" || impl == "all")
     run_impl<locked_deque>("mutex", ops, steal_ms, thieves, rows);
+  if (impl == "channel" || impl == "all")
+    run_channel(ops, steal_ms, thieves, rows);
   if (rows.empty()) {
-    std::cerr << "unknown --impl=" << impl << " (chaselev|mutex|both)\n";
+    std::cerr << "unknown --impl=" << impl << " (chaselev|mutex|channel|all)\n";
     return 2;
   }
 
@@ -171,6 +303,22 @@ int main(int argc, char** argv) {
   if (owner_cl > 0 && owner_mx > 0)
     std::cout << "owner-side speedup (chaselev / mutex): "
               << format_number(owner_cl / owner_mx, 2) << "x\n";
+
+  // Thief-side scaling gate: channel-steal batching vs Chase–Lev per-item
+  // steals at the highest thief count measured.
+  double steal_cl = 0, steal_ch = 0;
+  int max_thieves = 0;
+  for (const auto& r : rows)
+    if (r.mode == "steal") max_thieves = std::max(max_thieves, r.thieves);
+  for (const auto& r : rows) {
+    if (r.mode != "steal" || r.thieves != max_thieves) continue;
+    if (r.impl == "chaselev") steal_cl = r.mops;
+    if (r.impl == "channel") steal_ch = r.mops;
+  }
+  if (steal_cl > 0 && steal_ch > 0)
+    std::cout << "thief-side speedup at " << max_thieves
+              << " thieves (channel / chaselev): "
+              << format_number(steal_ch / steal_cl, 2) << "x\n";
 
   const std::string json = args.get("json", "");
   if (!json.empty()) {

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Records the steal-deque throughput baseline (Chase-Lev vs mutex deque) into
+# Records the work-transfer throughput ablation (Chase-Lev deque vs mutex
+# deque vs channel-steal request/delivery protocol) into
 # results/BENCH_steal.json, and the flat-vs-hierarchical victim-order ablation
 # into results/BENCH_steal_topology.json, building the benches if needed.
 #

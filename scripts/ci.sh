@@ -25,8 +25,14 @@ for pattern in trivial serial_chain stencil1d fft binary_tree nearest spread ran
         --width=8 --steps=4 --grain-min=1000 --grain-max=2000 \
         --samples=1 --workers=2 --cores=4 >/dev/null
   done
+  # Native again under the message-passing backend — the whole pattern set
+  # must drain (termination detection) under channel-steal too; checksum
+  # equality across policies is asserted in channel_steal_test.
+  GRAN_POLICY=channel-steal ./build/bench/graph_sweep --pattern="$pattern" \
+      --mode=native --width=8 --steps=4 --grain-min=1000 --grain-max=2000 \
+      --samples=1 --workers=2 >/dev/null
 done
-echo "graph smoke: 8 patterns x {native,sim} ok"
+echo "graph smoke: 8 patterns x {native,sim,native/channel-steal} ok"
 
 echo "=== ci: trace-report smoke ==="
 # Trace a small graph_sweep into a binary dump, analyze it offline with

@@ -277,6 +277,10 @@ analysis_result analyze_trace(const trace_dump& dump, const analysis_options& op
       }
       case trace_kind::pending_miss:
       case trace_kind::pin_rejected:
+      case trace_kind::steal_request:
+      case trace_kind::steal_handoff:
+        // Channel-steal request traffic is summarized by the steal-req-*
+        // counters; per-event accounting adds nothing to Eq. 1–3.
         break;
     }
   }

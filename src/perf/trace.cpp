@@ -364,6 +364,33 @@ void tracer::write_chrome_json(std::ostream& os) const {
              << ",\"cat\":\"sched\",\"name\":\"task-split\",\"args\":{\"parent\":"
              << e.arg << ",\"point\":" << e.arg2 << "}}";
           break;
+        case trace_kind::steal_request: {
+          // Channel-steal request traffic: an instant on the sender's lane
+          // with the target and hop count, so a circulating token is visible
+          // as a trail of instants across the victim lanes it traversed.
+          const std::uint32_t target = e.arg2 & 0xffffu;
+          const std::uint32_t distance = e.arg2 >> 16;
+          const char* const dist_name =
+              distance == 0 ? "smt" : distance == 1 ? "local" : "remote";
+          sep();
+          os << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" << w
+             << ",\"ts\":" << ts_us(e.ticks)
+             << ",\"cat\":\"steal\",\"name\":\"steal-request\","
+             << "\"args\":{\"target\":" << target << ",\"hops\":" << e.arg
+             << ",\"distance\":\"" << dist_name << "\"}}";
+          break;
+        }
+        case trace_kind::steal_handoff: {
+          // Victim-side batch delivery (channel-steal). The thief-side
+          // `steal` event draws the flow arrow; this records the batch size.
+          const std::uint32_t thief = e.arg2 & 0xffffu;
+          sep();
+          os << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" << w
+             << ",\"ts\":" << ts_us(e.ticks)
+             << ",\"cat\":\"steal\",\"name\":\"steal-handoff\","
+             << "\"args\":{\"thief\":" << thief << ",\"batch\":" << e.arg << "}}";
+          break;
+        }
         case trace_kind::task_enqueue:
         case trace_kind::graph_node:
           // Provenance records for the offline analyzer; rendering them as

@@ -58,6 +58,16 @@ enum class trace_kind : std::uint16_t {
                      //   half, saturated to 32 bits); the next task_enqueue
                      //   on the same lane is the child — the pairing the
                      //   analyzer uses for split provenance
+  steal_request = 12,  // channel-steal: a steal-request token left this
+                       //   worker — sent fresh (arg = 0) or forwarded
+                       //   (arg = hops so far); arg2 = steal_arg2(target
+                       //   victim, thief→target topology distance)
+  steal_handoff = 13,  // channel-steal: this worker (the victim) pushed a
+                       //   batch of tasks into a thief's delivery channel
+                       //   arg = batch size, arg2 = steal_arg2(thief,
+                       //   victim→thief topology distance); the matching
+                       //   thief-side `steal` event carries the first
+                       //   task's id
 };
 
 // Worker index recorded for events emitted by non-worker threads (the

@@ -18,8 +18,11 @@ struct scheduler_config {
   int numa_domains = 0;
 
   // Scheduling policy: "priority-local-fifo" (the paper's), "static-fifo"
-  // (no stealing), or "work-stealing-lifo" (Cilk-style ablation).
-  std::string policy = "priority-local-fifo";
+  // (no stealing), "work-stealing-lifo" (Cilk-style ablation), or
+  // "channel-steal" (message-passing steal requests over SPSC channels).
+  // Empty = the GRAN_POLICY environment variable, falling back to
+  // "priority-local-fifo".
+  std::string policy;
 
   // Number of high-priority dual queues (owned by the first N workers).
   // 0 = one per worker.
@@ -42,6 +45,13 @@ struct scheduler_config {
   // baseline). Empty = the GRAN_STEAL_ORDER environment variable, falling
   // back to "hier".
   std::string steal_order;
+
+  // Channel-steal batching: "one" (single task per request), "half" (victim
+  // sends half its deque), or "adaptive" (steal-one until a refill produces
+  // no follow-on spawns, then escalate to steal-half; reset on spawn).
+  // Empty = the GRAN_STEAL_BATCH environment variable, falling back to
+  // "adaptive". Ignored by the other policies.
+  std::string steal_batch;
 
   // Capacity of each queue's lock-free ring before spilling to the
   // mutex-protected overflow stage.

@@ -1,7 +1,9 @@
 #include "threads/policy.hpp"
 
+#include <cstdlib>
 #include <stdexcept>
 
+#include "threads/policy_channel_steal.hpp"
 #include "threads/policy_priority_local.hpp"
 #include "threads/policy_static.hpp"
 #include "threads/policy_work_stealing.hpp"
@@ -14,12 +16,25 @@ void scheduling_policy::enqueue_hinted(thread_manager& tm, int target, task* t) 
   enqueue_new(tm, caller == target ? target : -1, t);
 }
 
+void scheduling_policy::cooperate(thread_manager&, int) {}
+
+std::string resolve_policy_name(const std::string& configured) {
+  if (!configured.empty()) return configured;
+  if (const char* env = std::getenv("GRAN_POLICY"); env != nullptr && *env != '\0')
+    return env;
+  return "priority-local-fifo";
+}
+
 std::unique_ptr<scheduling_policy> make_policy(const std::string& name) {
-  if (name == "priority-local-fifo" || name.empty())
+  const std::string resolved = resolve_policy_name(name);
+  if (resolved == "priority-local-fifo")
     return std::make_unique<priority_local_policy>();
-  if (name == "static-fifo") return std::make_unique<static_fifo_policy>();
-  if (name == "work-stealing-lifo") return std::make_unique<work_stealing_policy>();
-  throw std::invalid_argument("unknown scheduling policy: " + name);
+  if (resolved == "static-fifo") return std::make_unique<static_fifo_policy>();
+  if (resolved == "work-stealing-lifo")
+    return std::make_unique<work_stealing_policy>();
+  if (resolved == "channel-steal")
+    return std::make_unique<channel_steal_policy>();
+  throw std::invalid_argument("unknown scheduling policy: " + resolved);
 }
 
 }  // namespace gran

@@ -46,12 +46,25 @@ class scheduling_policy {
   virtual task* get_next(thread_manager& tm, int w) = 0;
 
   // True when every queue managed by the policy is (approximately) empty;
-  // used by shutdown and wait_idle.
+  // used by shutdown and wait_idle. Implementations must also treat work
+  // that is mid-handoff between two structures as non-empty — the manager
+  // exposes the in-flight count via thread_manager::handoffs_in_flight().
   virtual bool queues_empty(const thread_manager& tm) const = 0;
+
+  // Cooperation point: called from worker `w`'s own thread at moments the
+  // manager knows the worker is responsive (task spawn, scheduler round) so
+  // message-passing policies can service pending steal requests without a
+  // polling thread. Default is a no-op; queue-based policies ignore it.
+  virtual void cooperate(thread_manager& tm, int w);
 };
 
 // Factory by name ("priority-local-fifo", "static-fifo",
-// "work-stealing-lifo"); throws std::invalid_argument on unknown names.
+// "work-stealing-lifo", "channel-steal"); throws std::invalid_argument on
+// unknown names.
 std::unique_ptr<scheduling_policy> make_policy(const std::string& name);
+
+// Resolves the effective policy name: `configured` when non-empty, else the
+// GRAN_POLICY environment variable, else "priority-local-fifo".
+std::string resolve_policy_name(const std::string& configured);
 
 }  // namespace gran

@@ -77,17 +77,24 @@ task* priority_local_policy::get_next(thread_manager& tm, int w) {
   // 2. Local staged: convert to pending, then take from the pending queue
   // (the staged->pending->run round trip is what the paper's queue counters
   // observe in HPX).
+  // Between pop_staged and push_pending the task is in neither queue; the
+  // handoff bracket keeps it visible to concurrent queues_empty scans
+  // (shutdown, parking).
   if (me.owns_high_queue) {
     if (auto d = me.high_queue.pop_staged()) {
+      tm.note_handoff_begin();
       tm.convert(*d);
       me.high_queue.push_pending(*d);
+      tm.note_handoff_end();
       if (auto t = me.high_queue.pop_pending()) return *t;
       return nullptr;  // converted work was snatched; retry outer loop
     }
   }
   if (auto d = me.queue.pop_staged()) {
+    tm.note_handoff_begin();
     tm.convert(*d);
     me.queue.push_pending(*d);
+    tm.note_handoff_end();
     if (auto t = me.queue.pop_pending()) return *t;
     return nullptr;
   }
@@ -168,9 +175,13 @@ task* priority_local_policy::steal_staged_from_node(thread_manager& tm, int w,
     if (victim.owns_high_queue) d = victim.high_queue.pop_staged();
     if (!d) d = victim.queue.pop_staged();
     if (d) {
+      // Cross-worker staged steal: the same in-flight window as the local
+      // convert, but the task also changes owner mid-transfer.
+      tm.note_handoff_begin();
       tm.convert(*d);
       record_steal(tm, me, w, v, (*d)->id());
       me.queue.push_pending(*d);
+      tm.note_handoff_end();
       if (auto t = me.queue.pop_pending()) return *t;
       return nullptr;
     }
@@ -205,6 +216,9 @@ bool priority_local_policy::queues_empty(const thread_manager& tm) const {
     const worker_data& wd = tm.worker(w);
     if (!wd.queue.empty_approx() || !wd.high_queue.empty_approx()) return false;
   }
+  // Tasks mid-transfer between queues (staged->pending convert, staged
+  // steal) are momentarily in neither structure.
+  if (tm.handoffs_in_flight() != 0) return false;
   return tm.low_priority_queue().empty_approx();
 }
 

@@ -57,17 +57,24 @@ task* static_fifo_policy::get_next(thread_manager& tm, int w) {
   if (me.owns_high_queue)
     if (auto t = me.high_queue.pop_pending()) return *t;
   if (auto t = me.queue.pop_pending()) return *t;
+  // Between pop_staged and push_pending the task is in neither queue; the
+  // handoff bracket keeps it visible to concurrent queues_empty scans
+  // (shutdown, parking).
   if (me.owns_high_queue) {
     if (auto d = me.high_queue.pop_staged()) {
+      tm.note_handoff_begin();
       tm.convert(*d);
       me.high_queue.push_pending(*d);
+      tm.note_handoff_end();
       if (auto t = me.high_queue.pop_pending()) return *t;
       return nullptr;
     }
   }
   if (auto d = me.queue.pop_staged()) {
+    tm.note_handoff_begin();
     tm.convert(*d);
     me.queue.push_pending(*d);
+    tm.note_handoff_end();
     if (auto t = me.queue.pop_pending()) return *t;
     return nullptr;
   }
@@ -84,6 +91,7 @@ bool static_fifo_policy::queues_empty(const thread_manager& tm) const {
     const worker_data& wd = tm.worker(w);
     if (!wd.queue.empty_approx() || !wd.high_queue.empty_approx()) return false;
   }
+  if (tm.handoffs_in_flight() != 0) return false;
   return tm.low_priority_queue().empty_approx();
 }
 

@@ -173,6 +173,7 @@ bool work_stealing_policy::queues_empty(const thread_manager& tm) const {
   // parking protocols: a concurrent push is caught by the enqueuer's wakeup.
   for (const auto& d : deques_)
     if (!d->deque.empty_approx() || !d->inbox.empty_approx()) return false;
+  if (tm.handoffs_in_flight() != 0) return false;
   return tm.low_priority_queue().empty_approx();
 }
 

@@ -111,6 +111,9 @@ thread_manager::thread_manager(scheduler_config cfg)
     workers_[static_cast<std::size_t>(w)]->heartbeat =
         perf::heartbeat_board::instance().slot(w);
 
+  // Normalize so config().policy names the backend actually running even
+  // when it came from the GRAN_POLICY environment variable.
+  cfg_.policy = resolve_policy_name(cfg_.policy);
   policy_ = make_policy(cfg_.policy);
   policy_->init(*this);
 
@@ -144,6 +147,10 @@ std::uint64_t thread_manager::spawn(task::body_fn body, task_priority priority,
   queued_.fetch_add(1, std::memory_order_relaxed);
   policy_->enqueue_new(*this, home, t);
   notify_work();
+  // Cooperation point: a spawning worker is responsive by definition, so a
+  // message-passing policy can service steal requests that piled up while
+  // the task body ran (tasking-2.0's check-for-requests-on-spawn idiom).
+  if (home >= 0) policy_->cooperate(*this, home);
   return id;
 }
 
@@ -164,6 +171,8 @@ std::uint64_t thread_manager::spawn_on(int worker_hint, task::body_fn body,
   queued_.fetch_add(1, std::memory_order_relaxed);
   policy_->enqueue_hinted(*this, worker_hint, t);
   notify_work();
+  const int home = tl_manager == this ? tl_worker : -1;
+  if (home >= 0) policy_->cooperate(*this, home);
   return id;
 }
 
@@ -497,6 +506,11 @@ thread_manager::totals thread_manager::counter_totals() const {
     sum.tasks_spawned += c.tasks_spawned.load(std::memory_order_relaxed);
     sum.tasks_split += c.tasks_split.load(std::memory_order_relaxed);
     sum.splits_denied += c.splits_denied.load(std::memory_order_relaxed);
+    sum.steal_req_sent += c.steal_req_sent.load(std::memory_order_relaxed);
+    sum.steal_req_forwarded +=
+        c.steal_req_forwarded.load(std::memory_order_relaxed);
+    sum.steal_req_declined +=
+        c.steal_req_declined.load(std::memory_order_relaxed);
 
     const queue_access_counts q = wd->queue.counts();
     const queue_access_counts h = wd->high_queue.counts();
@@ -654,6 +668,19 @@ void thread_manager::register_counters() {
           "split demands denied because the remaining range was below "
           "2×GRAN_SPLIT_MIN",
           [tot] { return static_cast<double>(tot().splits_denied); });
+  // Channel-steal request traffic (policy_channel_steal.hpp); zero under
+  // the queue-based policies. sent == handoffs + declined at quiescence.
+  reg.add("/threads/count/steal-req-sent", counter_kind::monotonic,
+          "steal requests originated by idle workers (channel-steal)",
+          [tot] { return static_cast<double>(tot().steal_req_sent); });
+  reg.add("/threads/count/steal-req-forwarded", counter_kind::monotonic,
+          "steal requests passed on by a victim with an empty deque "
+          "(channel-steal)",
+          [tot] { return static_cast<double>(tot().steal_req_forwarded); });
+  reg.add("/threads/count/steal-req-declined", counter_kind::monotonic,
+          "steal requests returned to the thief unserved after a full "
+          "circuit (channel-steal)",
+          [tot] { return static_cast<double>(tot().steal_req_declined); });
   reg.add("/threads/count/instantaneous/alive", counter_kind::gauge,
           "tasks spawned and not yet terminated",
           [this] { return static_cast<double>(tasks_alive()); });

@@ -113,6 +113,28 @@ class thread_manager {
   // physical core), 1 = same NUMA/locality domain, 2 = remote domain.
   int steal_distance(int thief, int victim) const noexcept;
 
+  // --- in-flight handoff accounting ---------------------------------------
+  // A task mid-transfer between two queue structures (staged-steal convert,
+  // channel delivery) is momentarily in *neither*, so a concurrent
+  // queues_empty scan would under-count. Transfers bracket themselves with
+  // begin/end; every policy's queues_empty treats a non-zero in-flight count
+  // as non-empty. seq_cst pairs with the scan: either the scanner sees the
+  // count, or the transfer's enqueue is already visible to it.
+  void note_handoff_begin() noexcept {
+    handoffs_.fetch_add(1, std::memory_order_seq_cst);
+  }
+  void note_handoff_end() noexcept {
+    handoffs_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+  std::uint64_t handoffs_in_flight() const noexcept {
+    return handoffs_.load(std::memory_order_seq_cst);
+  }
+
+  // Wakes parked workers (all=false: one). Public so message-passing
+  // policies can signal after pushing work into another worker's channel —
+  // the same Dekker protocol as the enqueue paths (see the private section).
+  void notify_work_available(bool all = false) { notify_work(all); }
+
   // Preferred worker for block `index` of `total` equally sized data blocks:
   // block distribution over the NUMA domains, round-robin among each
   // domain's workers. Deterministic; used for NUMA-aware home placement of
@@ -189,6 +211,9 @@ class thread_manager {
     std::uint64_t tasks_spawned = 0;  // spawn/spawn_on calls, incl. external
     std::uint64_t tasks_split = 0;    // lazy splits (back half re-enqueued)
     std::uint64_t splits_denied = 0;  // demand seen, range below 2×min_chunk
+    std::uint64_t steal_req_sent = 0;       // channel-steal requests originated
+    std::uint64_t steal_req_forwarded = 0;  // passed on by an empty victim
+    std::uint64_t steal_req_declined = 0;   // returned unserved (full circuit)
     queue_access_counts queues;  // summed over every dual queue
   };
   totals counter_totals() const;
@@ -254,6 +279,8 @@ class thread_manager {
   // Tasks enqueued but not yet dequeued (see queued_tasks()). Own line:
   // bumped at every enqueue/dequeue, polled from split candidates' hot loop.
   alignas(cache_line_size) std::atomic<std::int64_t> queued_{0};
+  // Tasks mid-transfer between queue structures (see note_handoff_begin).
+  alignas(cache_line_size) std::atomic<std::uint64_t> handoffs_{0};
 
   alignas(cache_line_size) std::atomic<int> sleepers_{0};
   std::mutex park_mutex_;

@@ -46,6 +46,15 @@ struct worker_counters {
   // because the remaining range was below 2×GRAN_SPLIT_MIN.
   std::atomic<std::uint64_t> tasks_split{0};
   std::atomic<std::uint64_t> splits_denied{0};
+  // Channel-steal request traffic (policy_channel_steal.hpp): requests this
+  // worker originated, requests it passed on because its deque was empty,
+  // and requests it returned to the thief unserved after a full circuit.
+  // sent >= forwarded-circuits, and every sent request ends as exactly one
+  // handoff or one decline — the convergence invariant the termination test
+  // checks. Zero under the other policies.
+  std::atomic<std::uint64_t> steal_req_sent{0};
+  std::atomic<std::uint64_t> steal_req_forwarded{0};
+  std::atomic<std::uint64_t> steal_req_declined{0};
 
   void reset() {
     tasks_executed.store(0, std::memory_order_relaxed);
@@ -60,6 +69,9 @@ struct worker_counters {
     extra_pending_misses.store(0, std::memory_order_relaxed);
     tasks_split.store(0, std::memory_order_relaxed);
     splits_denied.store(0, std::memory_order_relaxed);
+    steal_req_sent.store(0, std::memory_order_relaxed);
+    steal_req_forwarded.store(0, std::memory_order_relaxed);
+    steal_req_declined.store(0, std::memory_order_relaxed);
   }
 };
 

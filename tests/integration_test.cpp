@@ -141,7 +141,8 @@ TEST(Integration, HeavySuspensionChurn) {
 
 TEST(Integration, StencilUnderEachPolicy) {
   for (const char* policy :
-       {"priority-local-fifo", "static-fifo", "work-stealing-lifo"}) {
+       {"priority-local-fifo", "static-fifo", "work-stealing-lifo",
+        "channel-steal"}) {
     scheduler_config cfg = test_config(2);
     cfg.policy = policy;
     thread_manager tm(cfg);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -67,6 +68,88 @@ TEST(SpscRing, TwoThreadStress) {
     }
   consumer.join();
   EXPECT_EQ(consumer_sum, static_cast<long long>(n - 1) * n / 2);
+}
+
+// Regression (ISSUE 9): push used to require T default-constructible and
+// copy-assignable (std::vector<T> slots), and the natural retry loop
+// `while (!ring.push(std::move(v)))` double-moved the payload on a full
+// ring. Move-only payloads now work and a failed push does not consume the
+// argument.
+TEST(SpscRing, MoveOnlyPayloadSurvivesFullRingRetry) {
+  spsc_ring<std::unique_ptr<int>> ring(2);
+  std::size_t pushed = 0;
+  while (ring.push(std::make_unique<int>(static_cast<int>(pushed)))) ++pushed;
+
+  auto extra = std::make_unique<int>(777);
+  EXPECT_FALSE(ring.push(std::move(extra)));
+  ASSERT_NE(extra, nullptr);  // NOT consumed by the failed push
+  EXPECT_EQ(*extra, 777);
+  EXPECT_FALSE(ring.push(std::move(extra)));  // retry: still intact
+  ASSERT_NE(extra, nullptr);
+
+  auto v = ring.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 0);
+  EXPECT_TRUE(ring.push(std::move(extra)));  // room now; this one consumes
+  EXPECT_EQ(extra, nullptr);
+
+  for (std::size_t i = 1; i < pushed; ++i) {
+    auto p = ring.pop();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(**p, static_cast<int>(i));
+  }
+  auto last = ring.pop();
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(**last, 777);
+}
+
+// Storage is uninitialized + placement-new, so T needs no default
+// constructor (the old std::vector<T> slots required one).
+TEST(SpscRing, NonDefaultConstructiblePayload) {
+  struct payload {
+    explicit payload(int x) : value(x) {}
+    int value;
+  };
+  spsc_ring<payload> ring(4);
+  EXPECT_TRUE(ring.push(payload{41}));
+  EXPECT_TRUE(ring.push(payload{42}));
+  auto a = ring.pop();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->value, 41);
+  auto b = ring.pop();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->value, 42);
+}
+
+// Regression (ISSUE 9): the destructor used to destroy unconsumed elements
+// without running any drain, leaking owning payloads at shutdown. Elements
+// still queued must have their destructors run — observable here via a
+// counting RAII type, and ASan-visible via the unique_ptr variant below.
+TEST(SpscRing, DestructorDrainsUnconsumedElements) {
+  static std::atomic<int> live{0};
+  struct tracked {
+    tracked() { live.fetch_add(1, std::memory_order_relaxed); }
+    tracked(const tracked&) { live.fetch_add(1, std::memory_order_relaxed); }
+    tracked(tracked&&) noexcept { live.fetch_add(1, std::memory_order_relaxed); }
+    ~tracked() { live.fetch_sub(1, std::memory_order_relaxed); }
+  };
+  live.store(0);
+  {
+    spsc_ring<tracked> ring(16);
+    for (int i = 0; i < 10; ++i) EXPECT_TRUE(ring.push(tracked{}));
+    (void)ring.pop();
+    (void)ring.pop();
+    EXPECT_EQ(live.load(), 8);  // 8 still queued, temporaries destroyed
+  }
+  EXPECT_EQ(live.load(), 0);  // destructor drained the rest
+}
+
+TEST(SpscRing, DestructorDrainReleasesOwningPointers) {
+  // Under ASan, a leak here (the pre-fix behavior) fails the test run.
+  spsc_ring<std::unique_ptr<std::vector<int>>> ring(8);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_TRUE(ring.push(std::make_unique<std::vector<int>>(1000, i)));
+  // Destroy with all five still queued.
 }
 
 // --- mpmc_bounded --------------------------------------------------------------

@@ -152,7 +152,8 @@ TEST(StealOrder, UnknownOrderThrows) {
 
 TEST(StealOrder, SpawnOnRunsHintedTasks) {
   for (const char* policy :
-       {"work-stealing-lifo", "priority-local-fifo", "static-fifo"}) {
+       {"work-stealing-lifo", "priority-local-fifo", "static-fifo",
+        "channel-steal"}) {
     thread_manager tm(test_config(4, policy));
     std::atomic<int> done{0};
     for (int i = 0; i < 1000; ++i)

@@ -188,7 +188,8 @@ TEST_P(PolicyParam, SuspendWakeUnderEachPolicy) {
 
 INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyParam,
                          ::testing::Values("priority-local-fifo", "static-fifo",
-                                           "work-stealing-lifo"));
+                                           "work-stealing-lifo",
+                                           "channel-steal"));
 
 TEST(ThreadManager, UnknownPolicyThrows) {
   EXPECT_THROW(thread_manager tm(test_config(1, "no-such-policy")),
