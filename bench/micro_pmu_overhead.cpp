@@ -1,0 +1,189 @@
+// A/B micro-benchmark for the PMU plane (src/perf/pmu.hpp).
+//
+// Three measurements:
+//   * gate: task throughput of a thread_manager with the plane OFF — the
+//     price every run pays unconditionally (one null-pointer branch per
+//     phase). This is the measurement the <=1% regression gate protects.
+//   * software: plane forced to the rdtsc/rusage rung — the fallback every
+//     locked-down container lands on.
+//   * hardware: plane probing the real PMU (degrades per the ladder; the
+//     mode column in the output says what actually got counted).
+//
+//   --tasks=N          tasks per end-to-end run (default 40000)
+//   --spin=N           per-task spin iterations (default 2000, ~1-2 us)
+//   --workers=N        worker threads (default 4)
+//   --reps=N           repetitions, best-of (default 3)
+//   --json=PATH        write machine-readable results
+//   --baseline=PATH    compare against a previous --json dump; exits 1 when
+//                      the PMU-off throughput regressed more than
+//                      --tolerance-pct (default 1.0), or — when the baseline
+//                      recorded sw_tasks_per_s — the software-rung
+//                      throughput regressed more than
+//                      --enabled-tolerance-pct (default 10.0; two counter
+//                      samples per phase are real work by design)
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "perf/pmu.hpp"
+#include "threads/thread_manager.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace gran;
+
+namespace {
+
+// Per-task payload: a dependency-chained multiply loop the optimizer cannot
+// collapse, sized by --spin to the ~1 us grain where per-phase sampling
+// overhead would show first.
+volatile double g_sink = 0;
+void spin_task(std::uint64_t iters) {
+  double x = 1.000000119;
+  for (std::uint64_t i = 0; i < iters; ++i) x = x * 1.000000119 + 1e-9;
+  g_sink = x;
+}
+
+// One end-to-end run: spawn `tasks` spin tasks on a fresh manager, wait for
+// the pool to drain. Returns tasks per second. The manager is built after
+// the plane is configured, so workers pick up (or skip) readers at start.
+double run_throughput(int workers, std::uint64_t tasks, std::uint64_t spin) {
+  scheduler_config cfg;
+  cfg.num_workers = workers;
+  cfg.pin_workers = false;
+  thread_manager tm(cfg);
+  stopwatch clock;
+  for (std::uint64_t i = 0; i < tasks; ++i)
+    tm.spawn([spin] { spin_task(spin); }, task_priority::normal, "spin");
+  tm.wait_idle();
+  return static_cast<double>(tasks) / clock.elapsed_s();
+}
+
+double best_throughput(int reps, int workers, std::uint64_t tasks,
+                       std::uint64_t spin) {
+  double best = 0;
+  for (int r = 0; r < reps; ++r)
+    best = std::max(best, run_throughput(workers, tasks, spin));
+  return best;
+}
+
+// Minimal extraction of `"key": <number>` from a results JSON; returns NaN
+// when the key is absent.
+double json_number(const std::string& text, const std::string& key) {
+  const auto pos = text.find("\"" + key + "\"");
+  if (pos == std::string::npos) return std::nan("");
+  const auto colon = text.find(':', pos);
+  if (colon == std::string::npos) return std::nan("");
+  return std::strtod(text.c_str() + colon + 1, nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cli_args args(argc, argv);
+  const auto tasks = static_cast<std::uint64_t>(args.get_int("tasks", 40'000));
+  const auto spin = static_cast<std::uint64_t>(args.get_int("spin", 2'000));
+  const int workers = static_cast<int>(args.get_int("workers", 4));
+  const int reps = static_cast<int>(args.get_int("reps", 3));
+
+  auto& plane = perf::pmu_plane::instance();
+
+  // --- gate: plane off (the default; the regression target).
+  plane.reset_for_test();
+  plane.configure("off");
+  const double off_tps = best_throughput(reps, workers, tasks, spin);
+
+  // --- software rung: rdtsc + rusage, no perf fds at all.
+  plane.reset_for_test();
+  plane.configure("software");
+  const double sw_tps = best_throughput(reps, workers, tasks, spin);
+
+  // --- hardware probe: whatever rung this kernel/container grants.
+  plane.reset_for_test();
+  plane.configure("1");
+  const double hw_tps = best_throughput(reps, workers, tasks, spin);
+  const perf::pmu_mode hw_mode = plane.mode();
+  plane.reset_for_test();
+
+  const double sw_overhead_pct = (off_tps / sw_tps - 1.0) * 100.0;
+  const double hw_overhead_pct = (off_tps / hw_tps - 1.0) * 100.0;
+
+  std::cout << "PMU plane overhead: " << workers << " workers, " << tasks
+            << " tasks x " << spin << " spin iters, best of " << reps << "\n";
+  table_writer table({"measurement", "value"});
+  table.add_row({"tasks/s off", format_number(off_tps / 1e3, 1) + " k"});
+  table.add_row({"tasks/s software", format_number(sw_tps / 1e3, 1) + " k"});
+  table.add_row({"software overhead", format_number(sw_overhead_pct, 2) + " %"});
+  table.add_row({"tasks/s hardware (" + std::string(perf::pmu_mode_name(hw_mode)) + ")",
+                 format_number(hw_tps / 1e3, 1) + " k"});
+  table.add_row({"hardware overhead", format_number(hw_overhead_pct, 2) + " %"});
+  table.print(std::cout);
+
+  const std::string json = args.get("json", "");
+  if (!json.empty()) {
+    std::ofstream f(json);
+    f << "{\n  \"bench\": \"micro_pmu_overhead\",\n"
+      << "  \"tasks\": " << tasks << ",\n  \"spin\": " << spin
+      << ",\n  \"workers\": " << workers << ",\n"
+      << "  \"hw_mode\": \"" << perf::pmu_mode_name(hw_mode) << "\",\n"
+      << "  \"off_tasks_per_s\": " << off_tps
+      << ",\n  \"sw_tasks_per_s\": " << sw_tps
+      << ",\n  \"hw_tasks_per_s\": " << hw_tps
+      << ",\n  \"sw_overhead_pct\": " << sw_overhead_pct
+      << ",\n  \"hw_overhead_pct\": " << hw_overhead_pct << "\n}\n";
+    std::cout << "(json written to " << json << ")\n";
+  }
+
+  const std::string baseline = args.get("baseline", "");
+  if (!baseline.empty()) {
+    std::ifstream f(baseline);
+    if (!f) {
+      std::cerr << "cannot read baseline " << baseline << "\n";
+      return 2;
+    }
+    std::stringstream ss;
+    ss << f.rdbuf();
+    const double base_off = json_number(ss.str(), "off_tasks_per_s");
+    if (!(base_off > 0)) {
+      std::cerr << "baseline " << baseline << " has no off_tasks_per_s\n";
+      return 2;
+    }
+    const double tolerance = args.get_double("tolerance-pct", 1.0);
+    const double delta_pct = (1.0 - off_tps / base_off) * 100.0;
+    std::cout << "pmu-off path vs baseline: " << format_number(delta_pct, 2)
+              << " % slower (tolerance " << format_number(tolerance, 1)
+              << " %)\n";
+    if (delta_pct > tolerance) {
+      std::cerr << "FAIL: pmu-disabled throughput regressed "
+                << format_number(delta_pct, 2) << " % > "
+                << format_number(tolerance, 1) << " %\n";
+      return 1;
+    }
+    std::cout << "OK: pmu-off regression within tolerance\n";
+
+    // Software-rung gate: only when the baseline knows sw_tasks_per_s.
+    // Looser budget: two pmu samples per phase are real, intended work.
+    const double base_sw = json_number(ss.str(), "sw_tasks_per_s");
+    if (base_sw > 0) {
+      const double sw_tolerance = args.get_double("enabled-tolerance-pct", 10.0);
+      const double sw_delta_pct = (1.0 - sw_tps / base_sw) * 100.0;
+      std::cout << "software rung vs baseline: "
+                << format_number(sw_delta_pct, 2) << " % slower (tolerance "
+                << format_number(sw_tolerance, 1) << " %)\n";
+      if (sw_delta_pct > sw_tolerance) {
+        std::cerr << "FAIL: software-rung throughput regressed "
+                  << format_number(sw_delta_pct, 2) << " % > "
+                  << format_number(sw_tolerance, 1) << " %\n";
+        return 1;
+      }
+      std::cout << "OK: software-rung regression within tolerance\n";
+    }
+  }
+  return 0;
+}

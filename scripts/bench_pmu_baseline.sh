@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Records the PMU-plane overhead baseline (end-to-end task throughput with
+# the plane off / on the software rung / probing real hardware) into
+# results/BENCH_pmu.json, building the bench if needed.
+#
+# When a baseline already exists, the run is first checked against it: the
+# PMU-OFF throughput — the hot path every run pays — must not regress more
+# than 1%, and (when the baseline recorded it) the software-rung throughput
+# more than 10% (two counter samples per phase are intended work). The bench
+# exits non-zero on either breach, then the baseline is refreshed. The
+# hardware column is informational only: the rung it lands on depends on
+# perf_event_paranoid / seccomp and is not comparable across machines.
+#
+#   scripts/bench_pmu_baseline.sh [--tasks=N] [--spin=N] ...
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j --target micro_pmu_overhead >/dev/null
+
+mkdir -p results
+extra=()
+if [[ -f results/BENCH_pmu.json ]]; then
+  extra+=(--baseline=results/BENCH_pmu.json)
+fi
+./build/bench/micro_pmu_overhead --json=results/BENCH_pmu.json.new \
+  "${extra[@]}" "$@" | tee results/micro_pmu_overhead.txt
+mv results/BENCH_pmu.json.new results/BENCH_pmu.json

@@ -118,6 +118,37 @@ grep -q '"service":{' "$trace_tmp/service.jsonl" \
   || { echo "service smoke: no interval.service section in JSONL" >&2; exit 1; }
 echo "service smoke: native + sim + telemetry ok"
 
+echo "=== ci: pmu smoke ==="
+# The PMU plane both ways through the same code path. The software-only rung
+# (GRAN_PMU=sw) must always work — no perf fds at all — and its report must
+# carry the clearly-labeled software-only attribution table. The hardware
+# probe (GRAN_PMU=1) must never crash whatever rung perf_event_paranoid or
+# the container seccomp policy grants; whichever rung it lands on, the same
+# "pmu attribution" table must print.
+paranoid=$(cat /proc/sys/kernel/perf_event_paranoid 2>/dev/null || echo "?")
+echo "perf_event_paranoid=$paranoid"
+GRAN_PMU=sw ./build/tools/gran_trace_report --pattern=stencil1d --width=8 \
+    --steps=6 --grain=2000 --workers=2 > "$trace_tmp/pmu_sw.txt" 2>&1
+grep -q "pmu attribution (software-only mode" "$trace_tmp/pmu_sw.txt" \
+  || { echo "pmu smoke: no software-only attribution table" >&2; \
+       cat "$trace_tmp/pmu_sw.txt" >&2; exit 1; }
+GRAN_PMU=1 ./build/tools/gran_trace_report --pattern=stencil1d --width=8 \
+    --steps=6 --grain=2000 --workers=2 > "$trace_tmp/pmu_hw.txt" 2>&1
+grep -q "pmu attribution (" "$trace_tmp/pmu_hw.txt" \
+  || { echo "pmu smoke: no attribution table under GRAN_PMU=1" >&2; \
+       cat "$trace_tmp/pmu_hw.txt" >&2; exit 1; }
+# Streamed telemetry with the plane on: gran_top must accept the interval.pmu
+# JSONL section and the gran_pmu_* Prometheus families.
+GRAN_PMU=sw ./build/bench/graph_sweep --pattern=stencil1d --width=8 --steps=6 \
+    --grain-min=2000 --grain-max=2000 --samples=1 --workers=2 \
+    --metrics-out="$trace_tmp/pmu.jsonl" --metrics-prom="$trace_tmp/pmu.prom" \
+    --metrics-interval-us=20000 >/dev/null
+./build/tools/gran_top --check="$trace_tmp/pmu.jsonl"
+./build/tools/gran_top --check-prom="$trace_tmp/pmu.prom"
+grep -q '"pmu":{' "$trace_tmp/pmu.jsonl" \
+  || { echo "pmu smoke: no interval.pmu section in JSONL" >&2; exit 1; }
+echo "pmu smoke: software-only + hardware-probe (paranoid=$paranoid) ok"
+
 echo "=== ci: tsan ==="
 scripts/tsan_check.sh
 

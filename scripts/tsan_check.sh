@@ -9,7 +9,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD=build-tsan
-TESTS=(chase_lev_test queues_test thread_manager_test channel_steal_test steal_order_test trace_test telemetry_test analysis_test graph_test split_test service_test)
+TESTS=(chase_lev_test queues_test thread_manager_test channel_steal_test steal_order_test trace_test telemetry_test analysis_test pmu_test graph_test split_test service_test)
 
 cmake -B "$BUILD" -S . \
   -DGRAN_SANITIZE=thread \

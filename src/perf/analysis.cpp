@@ -5,6 +5,7 @@
 #include <iomanip>
 #include <map>
 #include <ostream>
+#include <sstream>
 #include <unordered_map>
 
 namespace gran::perf {
@@ -42,6 +43,14 @@ struct task_state {
   std::uint32_t graph_point = 0;
   bool split_child = false;        // spawned as the back half of a split
   std::uint64_t split_point = 0;   // first index of the inherited range
+  // Hardware-counter sums from task_pmu records (kernel vs scheduler-gap).
+  bool has_pmu = false;
+  std::uint64_t pmu_cycles = 0;
+  std::uint64_t pmu_instructions = 0;
+  std::uint64_t pmu_llc = 0;
+  std::uint64_t pmu_sched_cycles = 0;
+  std::uint64_t pmu_sched_instructions = 0;
+  std::uint64_t pmu_sched_llc = 0;
   // Critical-path DP state.
   bool has_parent = false;
   std::uint64_t parent_id = 0;
@@ -74,6 +83,13 @@ struct worker_state {
   std::uint64_t split_parent = 0;
   std::uint64_t split_point = 0;
   std::uint64_t splits = 0;
+  // A phase just ended and its kernel task_pmu record has not arrived yet.
+  // run_phase emits the pair back-to-back at the same timestamp on one
+  // lane, so like split_pending this adjacency survives wraparound: a
+  // stale flag is simply overwritten by the next end event, and the
+  // open-phase branch takes precedence after a begin.
+  bool pmu_pending = false;
+  std::uint64_t pmu_last_task = 0;
   std::vector<phase_interval> done;  // closed phases, naturally begin-sorted
 };
 
@@ -217,6 +233,10 @@ analysis_result analyze_trace(const trace_dump& dump, const analysis_options& op
           w.done.push_back({w.open_begin, e.ticks, e.arg});
         }
         w.open = false;
+        // The kernel-delta task_pmu record (if the plane was on) follows
+        // this event immediately on the lane.
+        w.pmu_pending = true;
+        w.pmu_last_task = e.arg;
         if (e.kind == trace_kind::task_end) {
           task_of(e.arg).complete = true;
           ++w.completed;
@@ -273,6 +293,26 @@ analysis_result analyze_trace(const trace_dump& dump, const analysis_options& op
         t.has_graph = true;
         t.graph_step = graph_node_step(e.arg2);
         t.graph_point = graph_node_point(e.arg2);
+        break;
+      }
+      case trace_kind::task_pmu: {
+        // Lane-adjacent pairing: while a phase is open the record is the
+        // scheduler-gap delta emitted right after the begin event; otherwise
+        // it is the kernel delta following the end event flagged above.
+        if (w.open) {
+          auto& t = task_of(w.open_task);
+          t.has_pmu = true;
+          t.pmu_sched_cycles += pmu_arg_cycles(e.arg);
+          t.pmu_sched_instructions += pmu_arg_instructions(e.arg);
+          t.pmu_sched_llc += e.arg2;
+        } else if (w.pmu_pending) {
+          auto& t = task_of(w.pmu_last_task);
+          t.has_pmu = true;
+          t.pmu_cycles += pmu_arg_cycles(e.arg);
+          t.pmu_instructions += pmu_arg_instructions(e.arg);
+          t.pmu_llc += e.arg2;
+          w.pmu_pending = false;
+        }
         break;
       }
       case trace_kind::pending_miss:
@@ -491,7 +531,66 @@ analysis_result analyze_trace(const trace_dump& dump, const analysis_options& op
     out.graph_step = t.graph_step;
     out.graph_point = t.graph_point;
     out.on_critical_path = t.on_critical_path;
+    out.has_pmu = t.has_pmu;
+    out.pmu_cycles = t.pmu_cycles;
+    out.pmu_instructions = t.pmu_instructions;
+    out.pmu_llc_misses = t.pmu_llc;
+    out.pmu_sched_cycles = t.pmu_sched_cycles;
+    out.pmu_sched_instructions = t.pmu_sched_instructions;
+    out.pmu_sched_llc_misses = t.pmu_sched_llc;
     r.tasks.push_back(out);
+  }
+
+  // Per-grain-bin microarchitectural table: bucket PMU-attributed tasks by
+  // log2 of their exec time and aggregate the hardware deltas. A capture
+  // with zero instructions everywhere is a software-only (rdtsc) run — the
+  // table still carries cycles and the stolen fraction, clearly labeled by
+  // write_report.
+  {
+    struct bin_acc {
+      std::uint64_t tasks = 0;
+      std::uint64_t stolen = 0;
+      double kc = 0, sc = 0, ki = 0, si = 0, llc = 0;
+      std::vector<double> ipc;
+    };
+    std::map<int, bin_acc> bins;
+    for (const auto& t : r.tasks) {
+      if (!t.has_pmu || t.exec_ns <= 0) continue;
+      ++r.pmu_tasks;
+      if (t.pmu_instructions > 0) r.has_pmu = true;  // provisional, see below
+      int bucket = 0;
+      for (double g = t.exec_ns; g >= 2; g /= 2) ++bucket;
+      auto& b = bins[bucket];
+      ++b.tasks;
+      if (t.stolen) ++b.stolen;
+      b.kc += static_cast<double>(t.pmu_cycles);
+      b.sc += static_cast<double>(t.pmu_sched_cycles);
+      b.ki += static_cast<double>(t.pmu_instructions);
+      b.si += static_cast<double>(t.pmu_sched_instructions);
+      b.llc += static_cast<double>(t.pmu_llc_misses);
+      if (t.pmu_cycles > 0 && t.pmu_instructions > 0)
+        b.ipc.push_back(static_cast<double>(t.pmu_instructions) /
+                        static_cast<double>(t.pmu_cycles));
+    }
+    r.pmu_software_only = r.pmu_tasks > 0 && !r.has_pmu;
+    r.has_pmu = r.pmu_tasks > 0;
+    for (auto& [bucket, b] : bins) {
+      analysis_result::pmu_bin_row row;
+      row.bucket = bucket;
+      row.grain_lo_ns = bucket == 0 ? 0 : std::pow(2.0, bucket);
+      row.grain_hi_ns = std::pow(2.0, bucket + 1);
+      row.tasks = b.tasks;
+      const double n = static_cast<double>(b.tasks);
+      std::sort(b.ipc.begin(), b.ipc.end());
+      row.median_ipc = percentile(b.ipc, 0.5);
+      row.kernel_cycles = b.kc / n;
+      row.sched_cycles = b.sc / n;
+      row.kernel_instructions = b.ki / n;
+      row.sched_instructions = b.si / n;
+      row.llc_misses = b.llc / n;
+      row.stolen_frac = static_cast<double>(b.stolen) / n;
+      r.pmu_bins.push_back(row);
+    }
   }
 
   r.ok = true;
@@ -613,6 +712,37 @@ void write_report(std::ostream& os, const analysis_result& r,
        << std::setw(6) << w.tasks_completed << std::setw(6) << w.tasks_spawned
        << std::setw(6) << w.steals << std::setw(6) << w.dropped << "\n";
   }
+
+  // Per-grain-bin microarchitectural table (task_pmu events). Reading the
+  // U-curve: left wall = sched instr/task holds roughly constant while
+  // kernel instr/task shrinks with grain; right wall = llc/task climbing
+  // with stolen% in the fine bins. A software-only capture keeps the same
+  // table (cycles are rdtsc deltas) with the instruction-derived columns
+  // reading zero.
+  if (r.has_pmu) {
+    if (r.pmu_software_only)
+      os << "pmu attribution (software-only mode: rdtsc + rusage; "
+            "instruction/LLC columns unavailable): "
+         << r.pmu_tasks << " tasks\n";
+    else
+      os << "pmu attribution (hardware counters): " << r.pmu_tasks
+         << " tasks\n";
+    os << "  grain_us            tasks med_ipc   kcyc/task   scyc/task"
+          "  kinstr/task  sinstr/task    llc/task stolen%\n";
+    for (const auto& b : r.pmu_bins) {
+      std::ostringstream range;
+      range << std::fixed << std::setprecision(1) << "[" << std::setw(7)
+            << us(b.grain_lo_ns) << "," << std::setw(7) << us(b.grain_hi_ns)
+            << ")";
+      os << "  " << std::left << std::setw(18) << range.str() << std::right
+         << std::setw(7) << b.tasks << std::setprecision(2) << std::setw(8)
+         << b.median_ipc << std::setprecision(0) << std::setw(12)
+         << b.kernel_cycles << std::setw(12) << b.sched_cycles << std::setw(13)
+         << b.kernel_instructions << std::setw(13) << b.sched_instructions
+         << std::setw(12) << b.llc_misses << std::setprecision(1)
+         << std::setw(7) << b.stolen_frac * 100 << "\n";
+    }
+  }
   os.flags(flags);
   os.precision(prec);
 }
@@ -621,7 +751,9 @@ void write_task_csv(std::ostream& os, const analysis_result& r) {
   os << "task_id,name,spawn_worker,first_worker,phases,complete,"
         "enqueue_ticks,first_begin_ticks,wait_ns,queue_wait_ns,"
         "steal_latency_ns,exec_ns,suspend_ns,stolen,parent_id,"
-        "graph_step,graph_point,on_critical_path\n";
+        "graph_step,graph_point,on_critical_path,"
+        "pmu_cycles,pmu_instructions,pmu_llc_misses,"
+        "pmu_sched_cycles,pmu_sched_instructions,pmu_sched_llc_misses\n";
   const auto flags = os.flags();
   os << std::fixed << std::setprecision(1);
   for (const auto& t : r.tasks) {
@@ -642,7 +774,14 @@ void write_task_csv(std::ostream& os, const analysis_result& r) {
     if (t.has_graph_node) os << t.graph_step;
     os << ',';
     if (t.has_graph_node) os << t.graph_point;
-    os << ',' << (t.on_critical_path ? 1 : 0) << "\n";
+    os << ',' << (t.on_critical_path ? 1 : 0);
+    if (t.has_pmu)
+      os << ',' << t.pmu_cycles << ',' << t.pmu_instructions << ','
+         << t.pmu_llc_misses << ',' << t.pmu_sched_cycles << ','
+         << t.pmu_sched_instructions << ',' << t.pmu_sched_llc_misses;
+    else
+      os << ",,,,,,";
+    os << "\n";
   }
   os.flags(flags);
 }

@@ -68,6 +68,17 @@ struct task_record {
   std::uint32_t graph_step = 0;
   std::uint32_t graph_point = 0;
   bool on_critical_path = false;
+  // Hardware-counter attribution (task_pmu events, perf/pmu.hpp). The
+  // kernel triple sums per-phase deltas; the sched triple sums the
+  // scheduler gaps preceding this task's phases. In software-only captures
+  // instructions and llc stay 0 while cycles still carries rdtsc deltas.
+  bool has_pmu = false;
+  std::uint64_t pmu_cycles = 0;        // kernel (phase-body) cycles
+  std::uint64_t pmu_instructions = 0;
+  std::uint64_t pmu_llc_misses = 0;
+  std::uint64_t pmu_sched_cycles = 0;  // scheduler-gap cycles
+  std::uint64_t pmu_sched_instructions = 0;
+  std::uint64_t pmu_sched_llc_misses = 0;
 };
 
 // One worker's reconstructed timeline.
@@ -127,6 +138,30 @@ struct analysis_result {
   std::uint64_t max_concurrency = 0;
   double avg_runnable = 0;              // time-weighted spawned-not-yet-run
   std::uint64_t max_runnable = 0;
+
+  // Per-grain-bin microarchitectural table (task_pmu events). Tasks are
+  // bucketed by log2 of their exec time; each bin aggregates the hardware
+  // deltas so the report can show the U-curve's walls in hardware units:
+  // scheduler instructions/task flat while kernel work shrinks with grain
+  // (left wall), LLC misses/task rising with the stolen fraction at fine
+  // grain (right wall).
+  bool has_pmu = false;                 // any task carried task_pmu records
+  bool pmu_software_only = false;       // no instructions anywhere: rdtsc mode
+  std::uint64_t pmu_tasks = 0;          // tasks with PMU attribution
+  struct pmu_bin_row {
+    int bucket = 0;                     // log2(exec_ns) bin index
+    double grain_lo_ns = 0;             // bin range [lo, hi)
+    double grain_hi_ns = 0;
+    std::uint64_t tasks = 0;
+    double median_ipc = 0;              // of per-task kernel IPC; 0 in sw mode
+    double kernel_cycles = 0;           // per task
+    double sched_cycles = 0;            // per task
+    double kernel_instructions = 0;     // per task; 0 in software mode
+    double sched_instructions = 0;      // per task; 0 in software mode
+    double llc_misses = 0;              // per task; 0 in software/minimal mode
+    double stolen_frac = 0;             // fraction of the bin's tasks stolen
+  };
+  std::vector<pmu_bin_row> pmu_bins;
 };
 
 // Pure function of the dump: merges all lanes by timestamp (lanes may be

@@ -79,6 +79,19 @@ void write_window_gauge(std::ostream& os, const char* name, const char* help,
   os << "\n";
 }
 
+// Like write_window_gauge but with the full family name: the PMU and
+// service interval gauges live under their own gran_pmu_/gran_service_
+// prefixes, distinct from the auto-derived counter families (e.g.
+// /threads/pmu/mode maps to gran_threads_pmu_mode).
+void write_named_gauge(std::ostream& os, const char* family, const char* help,
+                       double value) {
+  os << "# HELP " << family << " " << help << "\n";
+  os << "# TYPE " << family << " gauge\n";
+  os << family << " ";
+  write_number(os, value);
+  os << "\n";
+}
+
 bool valid_metric_name(const std::string& s) {
   if (s.empty()) return false;
   for (std::size_t i = 0; i < s.size(); ++i) {
@@ -199,6 +212,38 @@ void write_prometheus_text(std::ostream& os, const window_snapshot& w) {
     write_window_gauge(os, "service_backlog",
                        "requests accepted and not yet completed",
                        w.service_backlog);
+    write_named_gauge(os, "gran_service_queue_wait_p50_ns",
+                      "interval queue-wait p50", w.queue_wait_p50_ns);
+    write_named_gauge(os, "gran_service_queue_wait_p95_ns",
+                      "interval queue-wait p95", w.queue_wait_p95_ns);
+    write_named_gauge(os, "gran_service_queue_wait_p99_ns",
+                      "interval queue-wait p99", w.queue_wait_p99_ns);
+  }
+  // PMU families only exist while the plane is enabled (GRAN_PMU); their
+  // absence is how scrapers tell a PMU-off run. Older validators must
+  // tolerate these as unknown gran_* families (validate_gran_families).
+  if (w.has_pmu) {
+    write_named_gauge(os, "gran_pmu_mode",
+                      "PMU rung: 1 full, 2 reduced, 3 minimal, 4 software",
+                      static_cast<double>(w.pmu_mode));
+    write_named_gauge(os, "gran_pmu_ipc_p50", "interval per-phase IPC p50",
+                      w.ipc_p50);
+    write_named_gauge(os, "gran_pmu_ipc_p95", "interval per-phase IPC p95",
+                      w.ipc_p95);
+    write_named_gauge(os, "gran_pmu_ipc_p99", "interval per-phase IPC p99",
+                      w.ipc_p99);
+    write_named_gauge(os, "gran_pmu_instructions_p50",
+                      "interval instructions/phase p50", w.instructions_p50);
+    write_named_gauge(os, "gran_pmu_instructions_p95",
+                      "interval instructions/phase p95", w.instructions_p95);
+    write_named_gauge(os, "gran_pmu_instructions_p99",
+                      "interval instructions/phase p99", w.instructions_p99);
+    write_named_gauge(os, "gran_pmu_llc_miss_p50",
+                      "interval LLC misses/phase p50", w.llc_p50);
+    write_named_gauge(os, "gran_pmu_llc_miss_p95",
+                      "interval LLC misses/phase p95", w.llc_p95);
+    write_named_gauge(os, "gran_pmu_llc_miss_p99",
+                      "interval LLC misses/phase p99", w.llc_p99);
   }
 }
 
@@ -255,6 +300,54 @@ bool validate_prometheus_text(std::istream& is, std::string* error) {
     // Histogram/summary families emit _bucket/_sum/_count samples under the
     // family's TYPE; we only emit counter/gauge, so sample name == family.
     has_samples[name] = true;
+  }
+  return true;
+}
+
+bool validate_gran_families(std::istream& is, std::string* error) {
+  // Families this exporter is known to emit, with the TYPE each must carry.
+  // Deliberately a small anchor set, not a census: a family missing from
+  // this table is accepted as long as it starts with gran_, so new writers
+  // (and future planes) stay compatible with old validators.
+  static const std::map<std::string, std::string> known = {
+      {"gran_window_seq", "gauge"},
+      {"gran_window_idle_rate", "gauge"},
+      {"gran_window_tasks_per_second", "gauge"},
+      {"gran_threads_count_cumulative", "counter"},
+      {"gran_threads_time_cumulative", "counter"},
+      {"gran_threads_pmu_mode", "gauge"},
+      {"gran_pmu_mode", "gauge"},
+      {"gran_pmu_ipc_p50", "gauge"},
+      {"gran_service_queue_wait_p50_ns", "gauge"},
+      {"gran_service_count_submitted", "counter"},
+  };
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string family;
+    std::string type;
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash, keyword;
+      ls >> hash >> keyword;
+      if (keyword != "TYPE") continue;
+      ls >> family >> type;
+    } else {
+      std::size_t pos = 0;
+      while (pos < line.size() && line[pos] != '{' && line[pos] != ' ') ++pos;
+      family = line.substr(0, pos);
+    }
+    if (family.rfind("gran_", 0) != 0)
+      return fail(error, line_no,
+                  "family '" + family + "' lacks the gran_ prefix");
+    if (!type.empty()) {
+      const auto it = known.find(family);
+      if (it != known.end() && it->second != type)
+        return fail(error, line_no, "family '" + family + "' declared " +
+                                        type + ", expected " + it->second);
+    }
   }
   return true;
 }
@@ -338,7 +431,42 @@ void write_window_jsonl(std::ostream& os, const window_snapshot& w) {
     os << ",";
     write_percentiles(os, "sojourn", w.sojourn_p50_ns, w.sojourn_p95_ns,
                       w.sojourn_p99_ns, w.sojourn_mean_ns, w.sojourn_count);
+    os << ",";
+    write_percentiles(os, "queue_wait", w.queue_wait_p50_ns,
+                      w.queue_wait_p95_ns, w.queue_wait_p99_ns,
+                      w.queue_wait_mean_ns, w.queue_wait_count);
     os << "}";
+  }
+  if (w.has_pmu) {
+    // Optional section: present only while the PMU plane is enabled. IPC
+    // values are dimensionless ratios, so the generic *_ns percentile keys
+    // don't fit — flat keys instead.
+    os << ",\"pmu\":{\"mode\":" << w.pmu_mode << ",\"ipc\":{\"p50\":";
+    write_number(os, w.ipc_p50);
+    os << ",\"p95\":";
+    write_number(os, w.ipc_p95);
+    os << ",\"p99\":";
+    write_number(os, w.ipc_p99);
+    os << ",\"mean\":";
+    write_number(os, w.ipc_mean);
+    os << ",\"count\":" << w.ipc_samples << "},\"instructions\":{\"p50\":";
+    write_number(os, w.instructions_p50);
+    os << ",\"p95\":";
+    write_number(os, w.instructions_p95);
+    os << ",\"p99\":";
+    write_number(os, w.instructions_p99);
+    os << ",\"mean\":";
+    write_number(os, w.instructions_mean);
+    os << ",\"count\":" << w.instructions_samples
+       << "},\"llc_miss\":{\"p50\":";
+    write_number(os, w.llc_p50);
+    os << ",\"p95\":";
+    write_number(os, w.llc_p95);
+    os << ",\"p99\":";
+    write_number(os, w.llc_p99);
+    os << ",\"mean\":";
+    write_number(os, w.llc_mean);
+    os << ",\"count\":" << w.llc_samples << "}}";
   }
   os << "}";
 
@@ -379,6 +507,11 @@ void write_window_jsonl(std::ostream& os, const window_snapshot& w) {
     os << ",\"duration_p99_ns\":";
     write_number(os, row.duration_p99_ns);
     os << ",\"duration_samples\":" << row.duration_samples;
+    if (w.has_pmu) {
+      os << ",\"ipc_p50\":";
+      write_number(os, row.ipc_p50);
+      os << ",\"ipc_samples\":" << row.ipc_samples;
+    }
     if (row.heartbeat_age_ns >= 0) {
       os << ",\"heartbeat_age_ns\":";
       write_number(os, row.heartbeat_age_ns);

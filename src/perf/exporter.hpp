@@ -46,6 +46,14 @@ void write_prometheus_text(std::ostream& os, const window_snapshot& w);
 // sets `error` (when non-null) to "line N: why" on the first violation.
 bool validate_prometheus_text(std::istream& is, std::string* error = nullptr);
 
+// Semantic layer on top of the grammar check: every family must carry the
+// gran_ prefix, and families this exporter is known to emit must declare
+// the expected TYPE. Unknown gran_* families are tolerated by design —
+// newer writers add families (gran_pmu_* and successors) without breaking
+// older validators; only a wrong prefix or a known family with the wrong
+// TYPE fails.
+bool validate_gran_families(std::istream& is, std::string* error = nullptr);
+
 // One JSON object (single line, newline-terminated): window metadata,
 // interval stats, counter values, monotonic rates, per-worker rows.
 void write_window_jsonl(std::ostream& os, const window_snapshot& w);

@@ -3,6 +3,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "perf/pmu.hpp"
 #include "perf/trace.hpp"
 #include "util/env.hpp"
 
@@ -41,6 +42,7 @@ observability_session::options observability_session::options_from_env() {
   if (o.flight_prefix == "1" || o.flight_prefix == "true")
     o.flight_prefix = "gran_flight";
   o.stall_ns = env_int("GRAN_STALL_NS", 0);
+  o.pmu = env_string("GRAN_PMU", "");
   return o;
 }
 
@@ -61,10 +63,15 @@ observability_session::options observability_session::options_from_cli(
       args.get_int("metrics-interval-us", base.metrics_interval_us);
   base.flight_prefix = args.get("flight-prefix", base.flight_prefix);
   base.stall_ns = args.get_int("stall-ns", base.stall_ns);
+  base.pmu = args.get("pmu", base.pmu);
   return base;
 }
 
 observability_session::observability_session(options opt) : opt_(std::move(opt)) {
+  // Configure the PMU plane before any thread manager spawns workers;
+  // readers are created at worker start, so a later configure() would miss
+  // them. Empty spec leaves whatever GRAN_PMU/init_from_env decided intact.
+  if (!opt_.pmu.empty()) pmu_plane::instance().configure(opt_.pmu);
   if (!opt_.trace_out.empty() || !opt_.trace_bin.empty()) {
     auto& t = tracer::instance();
     t.enable(opt_.trace_buf_events);

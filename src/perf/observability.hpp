@@ -26,6 +26,10 @@
 //                                                     P-<n>.bin + .txt
 //   --stall-ns=N                  GRAN_STALL_NS       watchdog stuck-task
 //                                                     threshold
+//   --pmu=MODE                    GRAN_PMU            per-task hardware
+//                                                     counters: off (default),
+//                                                     1/on = probe hardware,
+//                                                     sw/software = timers only
 #pragma once
 
 #include <cstdint>
@@ -53,6 +57,7 @@ class observability_session {
     std::int64_t metrics_interval_us = 0;   // 0 = default (100 ms)
     std::string flight_prefix;              // flight recorder; empty = off
     std::int64_t stall_ns = 0;              // 0 = default stuck threshold
+    std::string pmu;                        // PMU plane spec; empty = leave as-is
   };
 
   // Environment-only defaults (GRAN_TRACE, GRAN_SAMPLE_US, ...).

@@ -68,6 +68,17 @@ enum class trace_kind : std::uint16_t {
                        //   victim→thief topology distance); the matching
                        //   thief-side `steal` event carries the first
                        //   task's id
+  task_pmu = 14,  // hardware-counter delta for the adjacent slice event
+                  //   (perf/pmu.hpp). Emitted right AFTER a task_begin /
+                  //   phase_begin at the same timestamp, the delta covers
+                  //   the scheduler gap since the previous phase ended on
+                  //   this lane; right after a task_end / phase_end it
+                  //   covers the phase body (kernel work). The analyzer
+                  //   pairs by lane adjacency, like task_split, so pairs
+                  //   survive ring wraparound. arg = pack_pmu_arg(cycles,
+                  //   instructions), arg2 = LLC misses — all saturated to
+                  //   32 bits (a 4-second slice at 1 GHz; per-phase deltas
+                  //   at paper grains sit orders of magnitude below that)
 };
 
 // Worker index recorded for events emitted by non-worker threads (the
@@ -91,6 +102,20 @@ inline std::uint32_t pack_graph_node(std::uint64_t step, std::uint64_t point) no
 }
 inline std::uint32_t graph_node_step(std::uint32_t arg2) noexcept { return arg2 >> 16; }
 inline std::uint32_t graph_node_point(std::uint32_t arg2) noexcept { return arg2 & 0xffffu; }
+
+// Packs a task_pmu event's arg: cycles in the high 32 bits, instructions in
+// the low 32, each saturated (same clamp idiom as task_split's arg2).
+inline std::uint64_t pack_pmu_arg(std::uint64_t cycles,
+                                  std::uint64_t instructions) noexcept {
+  const std::uint64_t c = cycles >= 0xffffffffull ? 0xffffffffull : cycles;
+  const std::uint64_t i =
+      instructions >= 0xffffffffull ? 0xffffffffull : instructions;
+  return (c << 32) | i;
+}
+inline std::uint64_t pmu_arg_cycles(std::uint64_t arg) noexcept { return arg >> 32; }
+inline std::uint64_t pmu_arg_instructions(std::uint64_t arg) noexcept {
+  return arg & 0xffffffffull;
+}
 
 // One binary trace record. `name` points to the task's description — a
 // string with static storage duration in every runtime call site (task

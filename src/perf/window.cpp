@@ -188,6 +188,46 @@ window_snapshot window_aggregator::tick() {
     w.sojourn_mean_ns = h->delta.mean();
     w.sojourn_count = h->delta.count;
   }
+  if (const window_histogram* h =
+          w.find_histogram("/service/histogram/queue-wait")) {
+    w.has_service = true;
+    w.queue_wait_p50_ns = h->delta.percentile(50);
+    w.queue_wait_p95_ns = h->delta.percentile(95);
+    w.queue_wait_p99_ns = h->delta.percentile(99);
+    w.queue_wait_mean_ns = h->delta.mean();
+    w.queue_wait_count = h->delta.count;
+  }
+
+  // PMU-plane signals (perf/pmu.hpp): /threads/pmu/mode reads 0 while the
+  // plane is off, which keeps has_pmu (and the exporters' optional pmu
+  // sections) gated without a dependency on the plane itself. The task-ipc
+  // histogram stores milli-IPC; convert back to IPC here.
+  w.pmu_mode = static_cast<int>(w.value_or("/threads/pmu/mode", 0));
+  w.has_pmu = w.pmu_mode != 0;
+  if (const window_histogram* h =
+          w.find_histogram("/threads/histogram/task-ipc")) {
+    w.ipc_p50 = h->delta.percentile(50) / 1000.0;
+    w.ipc_p95 = h->delta.percentile(95) / 1000.0;
+    w.ipc_p99 = h->delta.percentile(99) / 1000.0;
+    w.ipc_mean = h->delta.mean() / 1000.0;
+    w.ipc_samples = h->delta.count;
+  }
+  if (const window_histogram* h =
+          w.find_histogram("/threads/histogram/task-instructions")) {
+    w.instructions_p50 = h->delta.percentile(50);
+    w.instructions_p95 = h->delta.percentile(95);
+    w.instructions_p99 = h->delta.percentile(99);
+    w.instructions_mean = h->delta.mean();
+    w.instructions_samples = h->delta.count;
+  }
+  if (const window_histogram* h =
+          w.find_histogram("/threads/histogram/task-llc-miss")) {
+    w.llc_p50 = h->delta.percentile(50);
+    w.llc_p95 = h->delta.percentile(95);
+    w.llc_p99 = h->delta.percentile(99);
+    w.llc_mean = h->delta.mean();
+    w.llc_samples = h->delta.count;
+  }
 
   // Per-worker rows from the instance counters.
   std::map<int, worker_window> by_worker;
@@ -213,6 +253,11 @@ window_snapshot window_aggregator::tick() {
       row.duration_p95_ns = h->delta.percentile(95);
       row.duration_p99_ns = h->delta.percentile(99);
       row.duration_samples = h->delta.count;
+    }
+    if (const window_histogram* h =
+            w.find_histogram(inst + "/histogram/task-ipc")) {
+      row.ipc_p50 = h->delta.percentile(50) / 1000.0;
+      row.ipc_samples = h->delta.count;
     }
   }
   w.workers.reserve(by_worker.size());

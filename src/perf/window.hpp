@@ -73,6 +73,10 @@ struct worker_window {
   double heartbeat_age_ns = -1;        // -1 = unmonitored
   std::uint64_t running_task = 0;      // 0 = no phase in flight
   double running_ns = 0;               // age of the in-flight phase
+  // Interval IPC from this worker's task-ipc histogram delta; samples == 0
+  // when the PMU plane is off or degraded to software mode.
+  double ipc_p50 = 0;
+  std::uint64_t ipc_samples = 0;
 };
 
 struct window_snapshot {
@@ -100,9 +104,28 @@ struct window_snapshot {
   double sojourn_p50_ns = 0, sojourn_p95_ns = 0, sojourn_p99_ns = 0,
          sojourn_mean_ns = 0;
   std::uint64_t sojourn_count = 0;       // sojourn samples inside the window
+  // Interval queue-wait percentiles (admission -> first execution, the
+  // in-queue share of sojourn) from /service/histogram/queue-wait deltas.
+  double queue_wait_p50_ns = 0, queue_wait_p95_ns = 0, queue_wait_p99_ns = 0,
+         queue_wait_mean_ns = 0;
+  std::uint64_t queue_wait_count = 0;
   double accepted_per_s = 0, rejected_per_s = 0, completed_per_s = 0;
   double rejection_rate = 0;             // Δrejected / Δsubmitted, 0 when idle
   double service_backlog = 0;            // gauge at window end
+
+  // PMU-plane interval signals (perf/pmu.hpp). has_pmu is true while the
+  // plane is enabled (pmu_mode != off); in software mode the IPC /
+  // instructions / LLC distributions record nothing, so their sample
+  // counts are 0 while mode still reports the degradation.
+  bool has_pmu = false;
+  int pmu_mode = 0;              // 0 off, 1 full, 2 reduced, 3 minimal, 4 sw
+  double ipc_p50 = 0, ipc_p95 = 0, ipc_p99 = 0, ipc_mean = 0;  // IPC (not milli)
+  std::uint64_t ipc_samples = 0;
+  double instructions_p50 = 0, instructions_p95 = 0, instructions_p99 = 0,
+         instructions_mean = 0;  // per phase
+  std::uint64_t instructions_samples = 0;
+  double llc_p50 = 0, llc_p95 = 0, llc_p99 = 0, llc_mean = 0;  // misses/phase
+  std::uint64_t llc_samples = 0;
 
   std::vector<worker_window> workers;  // sorted by worker index
 

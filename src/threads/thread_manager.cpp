@@ -102,6 +102,12 @@ thread_manager::thread_manager(scheduler_config cfg)
     for (int w = 0; w < workers; ++w)
       workers_[static_cast<std::size_t>(w)]->trace = perf::tracer::instance().ring(w);
 
+  // Hardware-counter attribution: GRAN_PMU=1 (or a tool calling
+  // perf::pmu_plane::configure before construction) turns it on; each
+  // worker opens its own counter group from worker_main so the events
+  // self-attach to the right thread (perf/pmu.hpp).
+  perf::pmu_plane::instance().init_from_env();
+
   // Liveness monitoring: publish this pool on the heartbeat board so the
   // stall watchdog (perf/watchdog.hpp) can observe the workers without a
   // dependency on this class. Like the counter registry, the board belongs
@@ -309,6 +315,13 @@ void thread_manager::worker_main(int w) {
     GRAN_LOG_WARN("worker %d: kernel rejected pin to cpu %d; running unpinned",
                   w, me.cpu);
   }
+
+  // Open this worker's counter group after pinning (perf_event_open
+  // self-attaches to the calling thread). Null when the plane is off — the
+  // run_phase hot path checks exactly that.
+  if (perf::pmu_plane::instance().enabled())
+    me.pmu = perf::pmu_plane::instance().create_reader();
+
   std::uint64_t stamp = tsc_clock::now();
   idle_backoff idler(cfg_.idle_spin_limit, cfg_.idle_yield_limit);
 
@@ -449,6 +462,29 @@ void thread_manager::run_phase(int w, task* t) {
                                        : perf::trace_kind::phase_begin,
                       w, t->id(), 0, t->description());
 
+  // PMU begin hook: one batched counter read per phase. The delta since the
+  // previous phase end on this lane is the scheduler gap in hardware units;
+  // its task_pmu record rides directly after the begin event (same
+  // timestamp) — the adjacency the analyzer pairs on.
+  perf::pmu_sample pmu_begin;
+  if (me.pmu != nullptr) {
+    me.pmu->sample(pmu_begin);
+    if (me.pmu_last_valid.load(std::memory_order_relaxed)) {
+      const perf::pmu_sample gap = pmu_begin - me.pmu_last_end;
+      me.counters.pmu_cycles_sched.fetch_add(gap.cycles,
+                                             std::memory_order_relaxed);
+      me.counters.pmu_instructions_sched.fetch_add(gap.instructions,
+                                                   std::memory_order_relaxed);
+      me.counters.pmu_ctx_switches.fetch_add(gap.ctx_switches,
+                                             std::memory_order_relaxed);
+      perf::trace_emit_at(me.trace, t0, perf::trace_kind::task_pmu, w,
+                          perf::pack_pmu_arg(gap.cycles, gap.instructions),
+                          gap.llc_misses >= 0xffffffffull
+                              ? 0xffffffffu
+                              : static_cast<std::uint32_t>(gap.llc_misses));
+    }
+  }
+
   t->context().resume();
   const std::uint64_t t1 = tsc_clock::now();
   const std::uint64_t dt = t1 - t0;
@@ -464,8 +500,49 @@ void thread_manager::run_phase(int w, task* t) {
   t->count_phase();
   t->add_exec_ticks(dt);
 
+  // PMU end hook, called right after each end-of-phase trace event so the
+  // kernel-delta task_pmu record is lane-adjacent to it at t1. Also feeds
+  // the always-on histograms and counter cells, and leaves the end sample
+  // as the base for the next scheduler-gap delta.
+  const auto pmu_end_emit = [&] {
+    if (me.pmu == nullptr) return;
+    perf::pmu_sample now;
+    me.pmu->sample(now);
+    const perf::pmu_sample d = now - pmu_begin;
+    me.counters.pmu_cycles_task.fetch_add(d.cycles, std::memory_order_relaxed);
+    me.counters.pmu_instructions_task.fetch_add(d.instructions,
+                                                std::memory_order_relaxed);
+    me.counters.pmu_llc_misses.fetch_add(d.llc_misses,
+                                         std::memory_order_relaxed);
+    me.counters.pmu_branch_misses.fetch_add(d.branch_misses,
+                                            std::memory_order_relaxed);
+    me.counters.pmu_stalled_backend.fetch_add(d.stalled_backend,
+                                              std::memory_order_relaxed);
+    me.counters.pmu_ctx_switches.fetch_add(d.ctx_switches,
+                                           std::memory_order_relaxed);
+    // IPC/instructions only when the instructions event is live (software
+    // mode reads 0), LLC only on rungs that still carry the event — zeros
+    // from a degraded reader would poison the distributions.
+    if (d.instructions > 0) {
+      me.hist_task_instructions.record(d.instructions);
+      if (d.cycles > 0)
+        me.hist_task_ipc.record(d.instructions * 1000 / d.cycles);
+    }
+    const perf::pmu_mode m = me.pmu->mode();
+    if (m == perf::pmu_mode::full || m == perf::pmu_mode::reduced)
+      me.hist_task_llc.record(d.llc_misses);
+    perf::trace_emit_at(me.trace, t1, perf::trace_kind::task_pmu, w,
+                        perf::pack_pmu_arg(d.cycles, d.instructions),
+                        d.llc_misses >= 0xffffffffull
+                            ? 0xffffffffu
+                            : static_cast<std::uint32_t>(d.llc_misses));
+    me.pmu_last_end = now;
+    me.pmu_last_valid.store(true, std::memory_order_relaxed);
+  };
+
   if (t->context().finished()) {
     perf::trace_emit_at(me.trace, t1, perf::trace_kind::task_end, w, t->id());
+    pmu_end_emit();
     me.hist_task_duration.record(
         static_cast<std::uint64_t>(tsc_clock::to_ns(t->exec_ticks())));
     t->finish();
@@ -475,12 +552,14 @@ void thread_manager::run_phase(int w, task* t) {
   }
   if (t->consume_yield_request()) {
     perf::trace_emit_at(me.trace, t1, perf::trace_kind::phase_end, w, t->id(), 1);
+    pmu_end_emit();
     t->requeue_after_yield();
     queued_.fetch_add(1, std::memory_order_relaxed);
     policy_->enqueue_ready(*this, w, t);
     return;
   }
   perf::trace_emit_at(me.trace, t1, perf::trace_kind::phase_end, w, t->id(), 2);
+  pmu_end_emit();
   if (!t->finalize_suspend()) {
     // A wake arrived while the task was switching away.
     queued_.fetch_add(1, std::memory_order_relaxed);
@@ -511,6 +590,19 @@ thread_manager::totals thread_manager::counter_totals() const {
         c.steal_req_forwarded.load(std::memory_order_relaxed);
     sum.steal_req_declined +=
         c.steal_req_declined.load(std::memory_order_relaxed);
+    sum.pmu_cycles_task += c.pmu_cycles_task.load(std::memory_order_relaxed);
+    sum.pmu_cycles_sched += c.pmu_cycles_sched.load(std::memory_order_relaxed);
+    sum.pmu_instructions_task +=
+        c.pmu_instructions_task.load(std::memory_order_relaxed);
+    sum.pmu_instructions_sched +=
+        c.pmu_instructions_sched.load(std::memory_order_relaxed);
+    sum.pmu_llc_misses += c.pmu_llc_misses.load(std::memory_order_relaxed);
+    sum.pmu_branch_misses +=
+        c.pmu_branch_misses.load(std::memory_order_relaxed);
+    sum.pmu_stalled_backend +=
+        c.pmu_stalled_backend.load(std::memory_order_relaxed);
+    sum.pmu_ctx_switches +=
+        c.pmu_ctx_switches.load(std::memory_order_relaxed);
 
     const queue_access_counts q = wd->queue.counts();
     const queue_access_counts h = wd->high_queue.counts();
@@ -541,7 +633,11 @@ void thread_manager::reset_counters() {
     wd->high_queue.reset_counts();
     wd->hist_task_duration.reset();
     wd->hist_task_overhead.reset();
+    wd->hist_task_ipc.reset();
+    wd->hist_task_llc.reset();
+    wd->hist_task_instructions.reset();
     wd->last_phase_end_ticks.store(0, std::memory_order_relaxed);
+    wd->pmu_last_valid.store(false, std::memory_order_relaxed);
   }
   low_queue_.reset_counts();
   external_spawns_.store(0, std::memory_order_relaxed);
@@ -750,6 +846,48 @@ void thread_manager::register_counters() {
             return max_age;
           });
 
+  // PMU plane (perf/pmu.hpp): negotiated capability plus the cumulative
+  // hardware-unit sums, split kernel-vs-scheduler like the wall-clock
+  // decomposition. All zero while GRAN_PMU is off (mode reads 0 = off).
+  reg.add("/threads/pmu/mode", counter_kind::gauge,
+          "PMU capability rung: 0 off, 1 full, 2 reduced, 3 minimal, "
+          "4 software-only",
+          [] {
+            return static_cast<double>(
+                static_cast<int>(perf::pmu_plane::instance().mode()));
+          });
+  reg.add("/threads/pmu/events-unavailable", counter_kind::gauge,
+          "hardware events the negotiated PMU mode cannot deliver (of 4 "
+          "beyond cycles)",
+          [] {
+            return static_cast<double>(
+                perf::pmu_plane::instance().events_unavailable());
+          });
+  reg.add("/threads/pmu/cycles-task", counter_kind::monotonic,
+          "PMU cycles spent inside task phases (kernel work)",
+          [tot] { return static_cast<double>(tot().pmu_cycles_task); });
+  reg.add("/threads/pmu/cycles-sched", counter_kind::monotonic,
+          "PMU cycles spent in inter-phase gaps (scheduler overhead)",
+          [tot] { return static_cast<double>(tot().pmu_cycles_sched); });
+  reg.add("/threads/pmu/instructions-task", counter_kind::monotonic,
+          "instructions retired inside task phases",
+          [tot] { return static_cast<double>(tot().pmu_instructions_task); });
+  reg.add("/threads/pmu/instructions-sched", counter_kind::monotonic,
+          "instructions retired in inter-phase gaps",
+          [tot] { return static_cast<double>(tot().pmu_instructions_sched); });
+  reg.add("/threads/pmu/llc-misses", counter_kind::monotonic,
+          "last-level-cache misses inside task phases",
+          [tot] { return static_cast<double>(tot().pmu_llc_misses); });
+  reg.add("/threads/pmu/branch-misses", counter_kind::monotonic,
+          "branch mispredictions inside task phases",
+          [tot] { return static_cast<double>(tot().pmu_branch_misses); });
+  reg.add("/threads/pmu/stalled-backend", counter_kind::monotonic,
+          "backend-stalled cycles inside task phases",
+          [tot] { return static_cast<double>(tot().pmu_stalled_backend); });
+  reg.add("/threads/pmu/context-switches", counter_kind::monotonic,
+          "context switches observed across phases and gaps",
+          [tot] { return static_cast<double>(tot().pmu_ctx_switches); });
+
   // Distribution counters: log2-bucketed histograms of per-task values,
   // exposed as percentile/mean/count gauges (docs/COUNTERS.md). The spread
   // these report is exactly what the paper's scalar means (Eqs. 2/3) hide.
@@ -763,29 +901,53 @@ void thread_manager::register_counters() {
     for (const auto& wd : workers_) s += wd->hist_task_overhead.snap();
     return s;
   };
+  const auto ipc_snap = [this] {
+    perf::histogram_snapshot s;
+    for (const auto& wd : workers_) s += wd->hist_task_ipc.snap();
+    return s;
+  };
+  const auto llc_snap = [this] {
+    perf::histogram_snapshot s;
+    for (const auto& wd : workers_) s += wd->hist_task_llc.snap();
+    return s;
+  };
+  const auto instructions_snap = [this] {
+    perf::histogram_snapshot s;
+    for (const auto& wd : workers_) s += wd->hist_task_instructions.snap();
+    return s;
+  };
   struct histogram_registration {
     const char* base;
     std::function<perf::histogram_snapshot()> snap;
     const char* what;
+    const char* unit;
   };
   const histogram_registration histograms[] = {
       {"/threads/histogram/task-duration", duration_snap,
-       "task duration (total t_exec per completed task)"},
+       "task duration (total t_exec per completed task)", "ns"},
       {"/threads/histogram/task-overhead", overhead_snap,
-       "per-slot overhead (non-exec gap between phases)"},
+       "per-slot overhead (non-exec gap between phases)", "ns"},
+      {"/threads/histogram/task-ipc", ipc_snap,
+       "per-phase instructions per cycle", "milli-IPC"},
+      {"/threads/histogram/task-llc-miss", llc_snap,
+       "per-phase last-level-cache misses", "misses"},
+      {"/threads/histogram/task-instructions", instructions_snap,
+       "per-phase instructions retired", "instructions"},
   };
   auto& hreg = perf::histogram_registry::instance();
   hreg.remove_prefix("/threads");
   for (const auto& h : histograms) {
     const std::string base = h.base;
     const std::string what = h.what;
+    const std::string unit = h.unit;
     for (const double p : {50.0, 95.0, 99.0}) {
       const std::string tag = "p" + std::to_string(static_cast<int>(p));
       reg.add(base + "/" + tag, counter_kind::gauge,
-              tag + " " + what + ", ns",
+              tag + " " + what + ", " + unit,
               [snap = h.snap, p] { return snap().percentile(p); });
     }
-    reg.add(base + "/mean", counter_kind::gauge, "mean " + what + ", ns",
+    reg.add(base + "/mean", counter_kind::gauge,
+            "mean " + what + ", " + unit,
             [snap = h.snap] { return snap().mean(); });
     reg.add(base + "/count", counter_kind::monotonic, "samples in " + what,
             [snap = h.snap] { return static_cast<double>(snap().count); });
@@ -863,8 +1025,19 @@ void thread_manager::register_counters() {
               if (beat == 0 || now <= beat) return 0.0;
               return static_cast<double>(tsc_clock::to_ns(now - beat));
             });
+    for (const double p : {50.0, 95.0, 99.0}) {
+      const std::string tag = "p" + std::to_string(static_cast<int>(p));
+      reg.add(inst + "/histogram/task-ipc/" + tag, counter_kind::gauge,
+              tag + " per-phase IPC on this worker, milli-IPC",
+              [wd, p] { return wd->hist_task_ipc.snap().percentile(p); });
+    }
+    reg.add(inst + "/histogram/task-ipc/count", counter_kind::monotonic,
+            "task-ipc samples on this worker",
+            [wd] { return static_cast<double>(wd->hist_task_ipc.count()); });
     hreg.add(inst + "/histogram/task-duration",
              [wd] { return wd->hist_task_duration.snap(); });
+    hreg.add(inst + "/histogram/task-ipc",
+             [wd] { return wd->hist_task_ipc.snap(); });
   }
 }
 

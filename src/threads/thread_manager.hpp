@@ -214,6 +214,17 @@ class thread_manager {
     std::uint64_t steal_req_sent = 0;       // channel-steal requests originated
     std::uint64_t steal_req_forwarded = 0;  // passed on by an empty victim
     std::uint64_t steal_req_declined = 0;   // returned unserved (full circuit)
+    // PMU-plane sums (perf/pmu.hpp); zero while GRAN_PMU is off. task vs
+    // sched is the kernel/scheduler split of the overhead decomposition,
+    // in hardware units.
+    std::uint64_t pmu_cycles_task = 0;
+    std::uint64_t pmu_cycles_sched = 0;
+    std::uint64_t pmu_instructions_task = 0;
+    std::uint64_t pmu_instructions_sched = 0;
+    std::uint64_t pmu_llc_misses = 0;
+    std::uint64_t pmu_branch_misses = 0;
+    std::uint64_t pmu_stalled_backend = 0;
+    std::uint64_t pmu_ctx_switches = 0;
     queue_access_counts queues;  // summed over every dual queue
   };
   totals counter_totals() const;

@@ -5,9 +5,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 
 #include "perf/heartbeat.hpp"
 #include "perf/histogram.hpp"
+#include "perf/pmu.hpp"
 #include "queues/dual_queue.hpp"
 #include "util/cacheline.hpp"
 
@@ -55,6 +57,18 @@ struct worker_counters {
   std::atomic<std::uint64_t> steal_req_sent{0};
   std::atomic<std::uint64_t> steal_req_forwarded{0};
   std::atomic<std::uint64_t> steal_req_declined{0};
+  // PMU-plane attribution (perf/pmu.hpp; zero while GRAN_PMU is off). The
+  // *_task cells sum per-phase deltas (kernel work), the *_sched cells sum
+  // the inter-phase gaps — the hardware-unit mirror of exec_ticks vs the
+  // task-overhead histogram.
+  std::atomic<std::uint64_t> pmu_cycles_task{0};
+  std::atomic<std::uint64_t> pmu_cycles_sched{0};
+  std::atomic<std::uint64_t> pmu_instructions_task{0};
+  std::atomic<std::uint64_t> pmu_instructions_sched{0};
+  std::atomic<std::uint64_t> pmu_llc_misses{0};
+  std::atomic<std::uint64_t> pmu_branch_misses{0};
+  std::atomic<std::uint64_t> pmu_stalled_backend{0};
+  std::atomic<std::uint64_t> pmu_ctx_switches{0};
 
   void reset() {
     tasks_executed.store(0, std::memory_order_relaxed);
@@ -72,6 +86,14 @@ struct worker_counters {
     steal_req_sent.store(0, std::memory_order_relaxed);
     steal_req_forwarded.store(0, std::memory_order_relaxed);
     steal_req_declined.store(0, std::memory_order_relaxed);
+    pmu_cycles_task.store(0, std::memory_order_relaxed);
+    pmu_cycles_sched.store(0, std::memory_order_relaxed);
+    pmu_instructions_task.store(0, std::memory_order_relaxed);
+    pmu_instructions_sched.store(0, std::memory_order_relaxed);
+    pmu_llc_misses.store(0, std::memory_order_relaxed);
+    pmu_branch_misses.store(0, std::memory_order_relaxed);
+    pmu_stalled_backend.store(0, std::memory_order_relaxed);
+    pmu_ctx_switches.store(0, std::memory_order_relaxed);
   }
 };
 
@@ -94,10 +116,28 @@ struct worker_data {
   //   reconstructs Σt_func, so the histogram decomposes Eq. 3's mean.
   perf::log2_histogram hist_task_duration;
   perf::log2_histogram hist_task_overhead;
+  // PMU-plane distributions (only recorded while a reader exists):
+  //   task-ipc          — per-phase instructions/cycle as milli-IPC
+  //                       (IPC × 1000, so log2 buckets resolve 0.1 steps);
+  //   task-llc-miss     — LLC misses per phase;
+  //   task-instructions — retired instructions per phase.
+  perf::log2_histogram hist_task_ipc;
+  perf::log2_histogram hist_task_llc;
+  perf::log2_histogram hist_task_instructions;
   // End of the previous phase on this worker (TSC ticks); 0 = none yet.
   // Written by the owning worker, reset externally between measurement
   // regions — relaxed atomic keeps that handoff race-free.
   std::atomic<std::uint64_t> last_phase_end_ticks{0};
+
+  // This worker's hardware-counter reader; created on the worker thread
+  // (perf_event_open self-attaches) when the PMU plane is enabled, else
+  // null — the disabled hot path is this one branch.
+  std::unique_ptr<perf::pmu_reader> pmu;
+  // Counter reading at the previous phase end, the base for the scheduler-
+  // gap delta at the next phase begin. Validity mirrors the
+  // last_phase_end_ticks reset-handoff idiom.
+  perf::pmu_sample pmu_last_end;
+  std::atomic<bool> pmu_last_valid{false};
 
   // This worker's trace lane; nullptr whenever tracing was disabled at
   // manager construction (perf/trace.hpp). Not owned.

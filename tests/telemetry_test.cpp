@@ -3,6 +3,11 @@
 // late-registration handling.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -324,6 +329,100 @@ TEST(Exporter, MetricsSinkAppendsToFile) {
   EXPECT_EQ(a, "line1");
   EXPECT_EQ(b, "line2");
   std::remove(path.c_str());
+}
+
+// Minimal loopback TCP listener for the tcp://host:port sink destination.
+// The kernel completes the handshake from the listen backlog, so a
+// single-threaded connect-then-accept sequence never deadlocks.
+struct loopback_listener {
+  int fd = -1;
+  std::uint16_t port = 0;
+
+  bool start(std::uint16_t want_port = 0) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(want_port);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 1) != 0) {
+      stop();
+      return false;
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    port = ntohs(addr.sin_port);
+    return true;
+  }
+  int accept_one() { return ::accept(fd, nullptr, nullptr); }
+  void stop() {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  ~loopback_listener() { stop(); }
+};
+
+std::string recv_line(int fd) {
+  std::string line;
+  char c;
+  while (::recv(fd, &c, 1, 0) == 1) {
+    if (c == '\n') break;
+    line.push_back(c);
+  }
+  return line;
+}
+
+TEST(Exporter, MetricsSinkTcpRoundTripAndReconnect) {
+  loopback_listener listener;
+  ASSERT_TRUE(listener.start());
+  const std::string dest = "tcp://127.0.0.1:" + std::to_string(listener.port);
+
+  metrics_sink sink;
+  ASSERT_TRUE(sink.open(dest));
+  int conn = listener.accept_one();
+  ASSERT_GE(conn, 0);
+
+  // A real window line end to end: serialize, send, receive, parse.
+  window_snapshot w;
+  w.seq = 7;
+  w.dt_s = 0.1;
+  std::stringstream line;
+  write_window_jsonl(line, w);
+  sink.write(line.str());
+  const std::string got = recv_line(conn);
+  std::string err;
+  const auto doc = json_value::parse(got, &err);
+  ASSERT_TRUE(doc.has_value()) << err << " in: " << got;
+  EXPECT_EQ(doc->string_at("type"), "window");
+  EXPECT_EQ(static_cast<int>(doc->number_at("seq", -1)), 7);
+
+  // Listener goes away: the sink must disable itself (one warning, no
+  // SIGPIPE, no exception) instead of killing the telemetry thread. The
+  // first write after the close may still land in the kernel buffer; the
+  // RST it provokes fails a subsequent one.
+  ::close(conn);
+  listener.stop();
+  for (int i = 0; i < 20 && sink.ok(); ++i) {
+    sink.write(line.str());
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_FALSE(sink.ok());
+
+  // Listener restarts on the same port: a re-open() is the reconnect path
+  // (the session keeps its sink object across scraper restarts).
+  ASSERT_TRUE(listener.start(listener.port));
+  ASSERT_TRUE(sink.open(dest));
+  conn = listener.accept_one();
+  ASSERT_GE(conn, 0);
+  sink.write(line.str());
+  const std::string again = recv_line(conn);
+  const auto doc2 = json_value::parse(again, &err);
+  ASSERT_TRUE(doc2.has_value()) << err << " in: " << again;
+  EXPECT_EQ(doc2->string_at("type"), "window");
+  ::close(conn);
 }
 
 // --- stall watchdog --------------------------------------------------------

@@ -86,6 +86,33 @@ std::string check_line(const std::string& line) {
       for (const char* sub : {"p50_ns", "p95_ns", "p99_ns", "mean_ns", "count"})
         if (const json_value* v = soj->find(sub); !v || !v->is_number())
           return std::string("sojourn missing numeric field \"") + sub + "\"";
+      // queue_wait rides the same optional-but-complete rule: streams from
+      // writers predating it stay valid, current writers must emit the full
+      // percentile object.
+      if (const json_value* qw = svc->find("queue_wait")) {
+        if (!qw->is_object()) return "service \"queue_wait\" is not an object";
+        for (const char* sub :
+             {"p50_ns", "p95_ns", "p99_ns", "mean_ns", "count"})
+          if (const json_value* v = qw->find(sub); !v || !v->is_number())
+            return std::string("queue_wait missing numeric field \"") + sub +
+                   "\"";
+      }
+    }
+    // Optional PMU section (present only when GRAN_PMU is on): complete
+    // when present — mode plus the three percentile groups.
+    if (const json_value* pmu = interval->find("pmu")) {
+      if (!pmu->is_object()) return "interval \"pmu\" is not an object";
+      if (const json_value* v = pmu->find("mode"); !v || !v->is_number())
+        return "pmu missing numeric field \"mode\"";
+      for (const char* key : {"ipc", "instructions", "llc_miss"}) {
+        const json_value* h = pmu->find(key);
+        if (!h || !h->is_object())
+          return std::string("pmu missing object field \"") + key + "\"";
+        for (const char* sub : {"p50", "p95", "p99", "mean", "count"})
+          if (const json_value* v = h->find(sub); !v || !v->is_number())
+            return std::string("pmu ") + key + " missing numeric field \"" +
+                   sub + "\"";
+      }
     }
     for (const char* key : {"counters", "rates"})
       if (const json_value* v = doc->find(key); !v || !v->is_object())
@@ -102,6 +129,13 @@ std::string check_line(const std::string& line) {
         if (const json_value* v = row.find(key); !v || !v->is_number())
           return std::string("worker row missing numeric field \"") + key +
                  "\"";
+      // Optional per-worker IPC (PMU runs): both fields or neither.
+      const json_value* ipc = row.find("ipc_p50");
+      const json_value* ipc_n = row.find("ipc_samples");
+      if ((ipc != nullptr) != (ipc_n != nullptr))
+        return "worker row has only one of \"ipc_p50\"/\"ipc_samples\"";
+      if (ipc != nullptr && (!ipc->is_number() || !ipc_n->is_number()))
+        return "worker row ipc fields are not numeric";
     }
     return {};
   }
@@ -165,6 +199,15 @@ int run_check_prom(const std::string& path) {
     std::cerr << "gran_top: " << path << ": " << err << "\n";
     return 1;
   }
+  // Second pass: family-level semantics. Unknown gran_* families pass by
+  // design (newer writers may emit families this validator predates); a
+  // non-gran prefix or a known family with the wrong TYPE fails.
+  f.clear();
+  f.seekg(0);
+  if (!gran::perf::validate_gran_families(f, &err)) {
+    std::cerr << "gran_top: " << path << ": " << err << "\n";
+    return 1;
+  }
   std::cout << "gran_top: " << path << " OK — valid Prometheus exposition\n";
   return 0;
 }
@@ -218,6 +261,28 @@ void render(const json_value& w, const std::deque<std::string>& incidents,
          << gran::format_duration_ns(soj->number_at("p50_ns")) << "/"
          << gran::format_duration_ns(soj->number_at("p95_ns")) << "/"
          << gran::format_duration_ns(soj->number_at("p99_ns"));
+    if (const json_value* qw = svc->find("queue_wait"))
+      os << "  qwait p50/p99="
+         << gran::format_duration_ns(qw->number_at("p50_ns")) << "/"
+         << gran::format_duration_ns(qw->number_at("p99_ns"));
+    os << "\n";
+  }
+  // PMU header line (only when the plane streamed a pmu section).
+  if (const json_value* pmu = interval ? interval->find("pmu") : nullptr) {
+    static const char* mode_names[] = {"off", "full", "reduced", "minimal",
+                                       "software"};
+    const int mode =
+        static_cast<int>(pmu->number_at("mode", 0));
+    os << "pmu: mode="
+       << (mode >= 0 && mode <= 4 ? mode_names[mode] : "?");
+    if (const json_value* ipc = pmu->find("ipc"))
+      os << "  ipc p50/p95=" << gran::format_number(ipc->number_at("p50"), 3)
+         << "/" << gran::format_number(ipc->number_at("p95"), 3);
+    if (const json_value* ins = pmu->find("instructions"))
+      os << "  instr/phase p50="
+         << fmt_rate(ins->number_at("p50"));
+    if (const json_value* llc = pmu->find("llc_miss"))
+      os << "  llc/phase p50=" << fmt_rate(llc->number_at("p50"));
     os << "\n";
   }
   os << "\n";
@@ -225,9 +290,9 @@ void render(const json_value& w, const std::deque<std::string>& incidents,
   const json_value* workers = w.find("workers");
   if (workers && workers->size() > 0) {
     gran::table_writer t({"worker", "tasks/s", "idle", "stolen/s", "p50", "p95",
-                          "p99", "samples", "hb-age", "running"});
+                          "p99", "samples", "ipc", "hb-age", "running"});
     for (const json_value& row : workers->items()) {
-      std::string hb = "-", running = "-";
+      std::string hb = "-", running = "-", ipc = "-";
       if (const json_value* age = row.find("heartbeat_age_ns")) {
         hb = gran::format_duration_ns(age->as_number());
         const auto task =
@@ -235,6 +300,11 @@ void render(const json_value& w, const std::deque<std::string>& incidents,
         if (task != 0)
           running = "#" + std::to_string(task) + " " +
                     gran::format_duration_ns(row.number_at("running_ns"));
+      }
+      // PMU plane off / software-degraded: no ipc field (or 0 samples).
+      if (const json_value* v = row.find("ipc_p50")) {
+        if (row.number_at("ipc_samples", 0) > 0)
+          ipc = gran::format_number(v->as_number(), 3);
       }
       t.add_row({std::to_string(
                      static_cast<std::int64_t>(row.number_at("worker"))),
@@ -246,7 +316,7 @@ void render(const json_value& w, const std::deque<std::string>& incidents,
                  gran::format_duration_ns(row.number_at("duration_p99_ns")),
                  std::to_string(static_cast<std::int64_t>(
                      row.number_at("duration_samples"))),
-                 hb, running});
+                 ipc, hb, running});
     }
     t.print(os);
   } else {

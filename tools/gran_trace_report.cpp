@@ -28,6 +28,7 @@
 #include "graph/kernels.hpp"
 #include "graph/spec.hpp"
 #include "perf/analysis.hpp"
+#include "perf/pmu.hpp"
 #include "perf/trace.hpp"
 #include "threads/thread_manager.hpp"
 #include "util/cli.hpp"
@@ -134,7 +135,11 @@ int run_in_process(const cli_args& args) {
   (void)graph::calibrated_rates();
 
   // The tracer must be live before the manager is built — workers cache
-  // their ring pointers at construction.
+  // their ring pointers at construction. Same for the PMU plane: readers
+  // attach at worker start.
+  const std::string pmu = args.get("pmu", "");
+  if (!pmu.empty()) perf::pmu_plane::instance().configure(pmu);
+
   auto& tr = perf::tracer::instance();
   tr.enable(static_cast<std::size_t>(args.get_int("trace-buf", 0)));
 
@@ -185,6 +190,9 @@ int main(int argc, char** argv) {
            "  --pattern= --width= --steps= --radius= --fraction= --seed=\n"
            "  --kernel= --grain= --imbalance= --workers= --policy= --window=\n"
            "  --trace-buf=N   ring capacity in events\n"
+           "  --pmu=MODE      per-task hardware counters: 1/on probes the\n"
+           "                  hardware, sw forces the software-only fallback\n"
+           "                  (also GRAN_PMU; off when neither is given)\n"
            "  --save=PATH     also save the captured trace as a binary dump\n";
     return 0;
   }
